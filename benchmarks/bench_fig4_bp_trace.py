@@ -1,0 +1,68 @@
+"""Figure 4: belief-propagation trace on the 3/19 campaign.
+
+Paper: starting from one hint host, iteration 1 detects C&C beaconing
+at 10-minute intervals; iterations 2-4 label three more domains by
+similarity (scores 0.82, 0.42, 0.28 in the paper's run); the algorithm
+stops when the top score falls below the threshold.  The shape: C&C
+first, then similarity labels in decreasing score order, then a stop.
+"""
+
+from conftest import save_output
+
+from repro.eval import LanlChallengeSolver
+
+
+def solve_through_319(dataset):
+    solver = LanlChallengeSolver(dataset)
+    outcome = None
+    for march_date in sorted(t.march_date for t in dataset.campaigns):
+        result = solver.solve_day(march_date)
+        if march_date == 19:
+            outcome = result
+            break
+    return outcome
+
+
+def test_fig4_bp_trace(benchmark, lanl_dataset):
+    outcome = benchmark.pedantic(
+        solve_through_319, args=(lanl_dataset,), rounds=1, iterations=1
+    )
+    assert outcome is not None
+    result = outcome.bp_result
+    assert result is not None
+
+    # Iteration 1 detects the C&C domain; later iterations label by
+    # similarity, every accepted score clearing the threshold.  (The
+    # paper's example run shows decreasing scores, but expansion can
+    # legitimately raise later scores when new hosts join the graph.)
+    assert result.trace[0].cc_detected
+    similarity_scores = [
+        t.top_score for t in result.trace if t.labeled and not t.cc_detected
+    ]
+    assert similarity_scores
+    assert all(score >= 0.25 for score in similarity_scores)
+
+    truth = set(lanl_dataset.campaign_for_date(19).malicious_domains)
+    lines = ["Figure 4 analogue -- belief propagation on the 3/19 campaign"]
+    for step in result.trace:
+        if step.cc_detected:
+            lines.append(
+                f"  iter {step.iteration}: C&C detected {step.cc_detected}"
+            )
+        elif step.labeled:
+            lines.append(
+                f"  iter {step.iteration}: labeled {step.labeled} "
+                f"score={step.top_score:.2f}"
+            )
+        else:
+            lines.append(
+                f"  iter {step.iteration}: stop (top score "
+                f"{step.top_score:.2f} < Ts)"
+            )
+    lines.append("")
+    lines.append(result.graph.ascii_render())
+    lines.append(
+        f"\nall labeled domains confirmed malicious: "
+        f"{set(result.detected_domains) <= truth}"
+    )
+    save_output("fig4_bp_trace", "\n".join(lines))

@@ -1,0 +1,45 @@
+"""Figure 6(a): C&C detections vs the automated-domain score threshold.
+
+Paper: raising Tc from 0.40 to 0.48 shrinks detections from 114 to 19
+domains while TDR rises from 85.08% to 94.7%; the 0.40 operating point
+is kept because the extra (noisier) detections include new discoveries
+worth seeding belief propagation with.  Shape: count decreases
+monotonically in the threshold; detected sets are nested; true C&C
+domains are among the detections.
+"""
+
+from conftest import save_output
+
+from repro.eval import render_table
+
+THRESHOLDS = (0.40, 0.42, 0.44, 0.45, 0.46, 0.48)
+
+
+def test_fig6a_cc_sweep(benchmark, enterprise_evaluation, enterprise_dataset):
+    sweep = benchmark.pedantic(
+        enterprise_evaluation.cc_sweep, args=(THRESHOLDS,),
+        rounds=1, iterations=1,
+    )
+
+    counts = [p.detected_count for p in sweep]
+    assert counts == sorted(counts, reverse=True)
+    for looser, stricter in zip(sweep, sweep[1:]):
+        assert stricter.detected <= looser.detected
+    truth_cc = {d for c in enterprise_dataset.campaigns for d in c.cc_domains}
+    assert sweep[0].detected & truth_cc
+
+    rows = [
+        (f"{p.threshold:.2f}", p.detected_count,
+         p.breakdown.known_malicious, p.breakdown.new_malicious,
+         p.breakdown.legitimate, f"{p.breakdown.tdr:.1%}")
+        for p in sweep
+    ]
+    save_output(
+        "fig6a_cc_sweep",
+        render_table(
+            ("Tc", "detected", "VT/SOC", "new mal.", "legit", "TDR"),
+            rows,
+            title="Figure 6(a) analogue -- C&C detections vs score threshold "
+                  "(paper: 114->19 domains, TDR 85.1%->94.7%)",
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Figure 6(b): no-hint belief propagation vs similarity threshold.
+
+Paper: sweeping Ts from 0.33 to 0.85 shrinks total detections from 265
+to 114 domains (TDR 76.2%-85.1%); at Ts=0.33 the mode finds 70 new
+malicious/suspicious domains unknown to VT and the SOC (NDR 26.4%).
+Shape: monotone count decrease, expansion beyond the C&C seeds, and a
+nonzero new-discovery count at the loose end.
+"""
+
+from conftest import save_output
+
+from repro.eval import render_table
+
+THRESHOLDS = (0.33, 0.5, 0.65, 0.75, 0.85)
+
+
+def test_fig6b_nohint_sweep(benchmark, enterprise_evaluation):
+    sweep = benchmark.pedantic(
+        enterprise_evaluation.no_hint_sweep, args=(THRESHOLDS,),
+        rounds=1, iterations=1,
+    )
+
+    counts = [p.detected_count for p in sweep]
+    assert counts == sorted(counts, reverse=True)
+    assert sweep[0].breakdown.new_malicious > 0  # the paper's key claim
+    cc_only = enterprise_evaluation.cc_detections(0.4)
+    assert len(sweep[0].detected) > len(cc_only)  # BP expands the seeds
+
+    rows = [
+        (f"{p.threshold:.2f}", p.detected_count,
+         p.breakdown.known_malicious, p.breakdown.new_malicious,
+         p.breakdown.legitimate, f"{p.breakdown.tdr:.1%}",
+         f"{p.breakdown.ndr:.1%}")
+        for p in sweep
+    ]
+    save_output(
+        "fig6b_nohint_sweep",
+        render_table(
+            ("Ts", "detected", "VT/SOC", "new mal.", "legit", "TDR", "NDR"),
+            rows,
+            title="Figure 6(b) analogue -- no-hint detections vs Ts "
+                  "(paper: 265->114 domains, TDR 76.2%-85.1%, NDR 26.4%)",
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Figure 6(c): SOC-hints belief propagation vs similarity threshold.
+
+Paper: seeded with 28 IOC domains, sweeping Ts from 0.33 to 0.45 yields
+137 to 73 detections (TDR 78.8%-94.6%); at 0.33 the mode surfaces 108
+malicious/suspicious domains -- about four times the seed set -- of
+which 29 are new discoveries.  Shape: monotone count decrease, seeds
+excluded from the output, expansion factor above 1, nonzero new
+discoveries.
+"""
+
+from conftest import save_output
+
+from repro.eval import render_table
+
+THRESHOLDS = (0.33, 0.37, 0.40, 0.41, 0.45)
+
+
+def test_fig6c_hints_sweep(benchmark, enterprise_evaluation):
+    sweep = benchmark.pedantic(
+        enterprise_evaluation.soc_hints_sweep, args=(THRESHOLDS,),
+        rounds=1, iterations=1,
+    )
+
+    counts = [p.detected_count for p in sweep]
+    assert counts == sorted(counts, reverse=True)
+    seeds = set(enterprise_evaluation.ioc.seeds())
+    for point in sweep:
+        assert not (point.detected & seeds)
+    assert sweep[0].detected  # hints mode finds campaign siblings
+
+    rows = [
+        (f"{p.threshold:.2f}", p.detected_count,
+         p.breakdown.known_malicious, p.breakdown.new_malicious,
+         p.breakdown.legitimate, f"{p.breakdown.tdr:.1%}")
+        for p in sweep
+    ]
+    expansion = sweep[0].detected_count / max(len(seeds), 1)
+    save_output(
+        "fig6c_hints_sweep",
+        render_table(
+            ("Ts", "detected", "VT/SOC", "new mal.", "legit", "TDR"),
+            rows,
+            title="Figure 6(c) analogue -- SOC-hints detections vs Ts, seeds "
+                  f"excluded (expansion x{expansion:.1f}; paper: 137->73, "
+                  "TDR 78.8%-94.6%)",
+        ),
+    )

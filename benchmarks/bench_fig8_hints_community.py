@@ -1,0 +1,86 @@
+"""Figure 8: a community discovered in SOC-hints mode.
+
+Paper (2/10): one IOC seed (a Zeus C&C) leads through its contacting
+host to seven sibling ``.org`` domains (the Ramdo set) and, in a second
+iteration, to six more hosts contacting the same set -- including one
+domain unknown to both the SOC and VirusTotal (a new discovery).
+Shape: an IOC-seeded BP run recovers same-campaign sibling domains and
+additional compromised hosts, at least one sibling not VT-reported.
+"""
+
+import networkx as nx
+from conftest import save_output
+
+from repro.core.beliefprop import belief_propagation
+from repro.profiling.rare import rare_domains_by_host
+
+
+def find_hinted_community(evaluation):
+    seeds = set(evaluation.ioc.seeds())
+    for op_day in evaluation.days:
+        present = {
+            domain for domain in seeds
+            if domain in op_day.traffic.hosts_by_domain
+        }
+        if not present:
+            continue
+        seed_hosts = set()
+        for domain in present:
+            seed_hosts.update(op_day.traffic.hosts_by_domain.get(domain, ()))
+        cc_set = {d for d, s in op_day.cc_scores.items() if s >= 0.4}
+        result = belief_propagation(
+            seed_hosts,
+            present,
+            dom_host=op_day.dom_host(),
+            host_rdom=rare_domains_by_host(op_day.traffic, op_day.rare),
+            detect_cc=lambda dom: dom in cc_set,
+            similarity_score=lambda dom, mal: (
+                evaluation.detector.similarity_scorer.score(
+                    dom, mal, op_day.traffic, op_day.when
+                )
+            ),
+            config=evaluation.config.belief_propagation.__class__(
+                similarity_threshold=0.33
+            ),
+        )
+        if result.detected_domains:
+            return op_day.day, result
+    return None, None
+
+
+def test_fig8_hints_community(benchmark, enterprise_evaluation, enterprise_dataset):
+    day, result = benchmark.pedantic(
+        find_hinted_community, args=(enterprise_evaluation,),
+        rounds=1, iterations=1,
+    )
+    assert result is not None, "no expanding SOC-hints community found"
+
+    graph = result.graph.to_networkx()
+    # Several IOC seeds may be present the same day; require every
+    # component to be anchored on a seed rather than global connectivity.
+    seed_names = {
+        name for name, record in result.graph.domains.items()
+        if record.label.value == "seed"
+    } | {
+        name for name, record in result.graph.hosts.items()
+        if record.label.value == "seed"
+    }
+    components = list(nx.connected_components(graph))
+    assert all(component & seed_names for component in components)
+
+    truth = enterprise_dataset.malicious_domains
+    vt = enterprise_evaluation.virustotal
+    siblings = set(result.detected_domains) & truth
+    assert siblings, "no true campaign siblings recovered from the seed"
+    new_discoveries = {d for d in siblings if not vt.is_reported(d)}
+
+    lines = [
+        f"Figure 8 analogue -- SOC-hints community on day {day}",
+        "",
+        result.graph.ascii_render(),
+        "",
+        f"true siblings recovered: {sorted(siblings)}",
+        f"of which unknown to VirusTotal (new discoveries): "
+        f"{sorted(new_discoveries)}",
+    ]
+    save_output("fig8_hints_community", "\n".join(lines))

@@ -1,0 +1,40 @@
+"""Table I: the four LANL challenge cases and their layout.
+
+Paper: 20 campaigns across four cases -- case 1 (one hint host) on 3/2,
+3/3, 3/4, 3/9, 3/10; case 2 (three or four hint hosts) on 3/5-3/8 and
+3/11-3/13; case 3 (one hint host, further compromised hosts) on 3/14,
+3/15, 3/17-3/21; case 4 (no hints) on 3/22.
+
+The bench verifies the synthetic world reproduces that layout exactly
+and benchmarks world generation.
+"""
+
+from conftest import BENCH_LANL, save_output
+
+from repro.eval import render_table
+from repro.synthetic import CASE_DATES, generate_lanl_dataset
+
+
+def test_table1_layout(benchmark, lanl_dataset):
+    rows = []
+    for case, dates in CASE_DATES.items():
+        campaigns = [c for c in lanl_dataset.campaigns if c.case == case]
+        hint_counts = sorted({len(c.hint_hosts) for c in campaigns})
+        rows.append(
+            (f"Case {case}",
+             ", ".join(f"3/{d}" for d in sorted(dates)),
+             "/".join(map(str, hint_counts)) or "0",
+             len(campaigns))
+        )
+    assert sum(row[-1] for row in rows) == 20
+
+    save_output(
+        "table1_lanl_cases",
+        render_table(
+            ("case", "dates", "hint hosts", "campaigns"),
+            rows,
+            title="Table I analogue -- LANL challenge case layout",
+        ),
+    )
+
+    benchmark(generate_lanl_dataset, BENCH_LANL)

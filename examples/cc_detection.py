@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Anatomy of the C&C detector: dynamic histograms vs. the baselines.
+
+Shows, on controlled timing series, why the paper chose dynamic
+histogram binning with Jeffrey divergence (Section IV-C):
+
+* a clean 10-minute beacon -- every detector agrees;
+* the same beacon with attacker jitter -- still detected;
+* a beacon interrupted by one long outlier gap (laptop asleep) -- the
+  standard-deviation baseline breaks, the dynamic histogram does not;
+* human browsing -- everyone must say no.
+
+Run:  python examples/cc_detection.py
+"""
+
+import random
+
+from repro.timing import (
+    AutocorrelationDetector,
+    AutomationDetector,
+    FftDetector,
+    StaticBinDetector,
+    StdDevDetector,
+    histogram_from_timestamps,
+)
+
+
+def beacon(period=600.0, count=40, jitter=0.0, seed=0):
+    rng = random.Random(seed)
+    times, t = [], 0.0
+    for _ in range(count):
+        times.append(t)
+        t += period + rng.uniform(-jitter, jitter)
+    return times
+
+
+def browsing(count=40, seed=1):
+    rng = random.Random(seed)
+    times, t = [], 0.0
+    for _ in range(count):
+        t += rng.expovariate(1.0 / 300.0)
+        times.append(t)
+    return times
+
+
+def with_outlier(times, gap=25_000.0):
+    half = len(times) // 2
+    return times[:half] + [t + gap for t in times[half:]]
+
+
+def main() -> None:
+    detectors = {
+        "dynamic histogram (paper)": AutomationDetector(),
+        "static bins (ablation)": StaticBinDetector(),
+        "std-dev (abandoned)": StdDevDetector(),
+        "FFT (BotFinder-like)": FftDetector(),
+        "autocorr (BotSniffer-like)": AutocorrelationDetector(),
+    }
+    scenarios = {
+        "clean 10-min beacon": beacon(),
+        "beacon, +/-3 s jitter": beacon(jitter=3.0),
+        "beacon with outlier gap": with_outlier(beacon(count=40)),
+        "human browsing": browsing(),
+    }
+
+    header = f"{'scenario':<26}" + "".join(f"{name:>28}" for name in detectors)
+    print(header)
+    print("-" * len(header))
+    for scenario_name, times in scenarios.items():
+        cells = []
+        for detector in detectors.values():
+            verdict = detector.test_series("host", "domain", times)
+            cells.append("AUTOMATED" if verdict.automated else "-")
+        print(
+            f"{scenario_name:<26}" + "".join(f"{c:>28}" for c in cells)
+        )
+
+    print("\ninside the dynamic histogram (beacon with outlier):")
+    hist = histogram_from_timestamps(with_outlier(beacon(count=40)), 10.0)
+    for bin_ in hist.bins:
+        print(
+            f"  hub {bin_.hub:>9.1f} s   count {bin_.count:>3}   "
+            f"frequency {bin_.frequency:.2f}"
+        )
+    print(f"  inferred beacon period: {hist.period:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Threat hunting on enterprise web-proxy logs (Section VI).
+
+Builds a synthetic enterprise ("AC") world with DHCP churn,
+multi-timezone collectors and injected malware campaigns; trains the
+full pipeline on the bootstrap month; then runs both operation modes
+over the operation month and validates the detections the way the
+paper's SOC collaboration did.
+
+Run:  python examples/enterprise_hunting.py
+"""
+
+from repro.eval import EnterpriseEvaluation, render_table
+from repro.synthetic import EnterpriseDatasetConfig, generate_enterprise_dataset
+
+
+def main() -> None:
+    config = EnterpriseDatasetConfig(
+        seed=2014, n_hosts=80, bootstrap_days=9, operation_days=8,
+        quiet_days=3, n_campaigns=10,
+    )
+    print("generating synthetic enterprise world ...")
+    dataset = generate_enterprise_dataset(config)
+    print(
+        f"  {config.n_hosts} hosts, {len(dataset.campaigns)} campaigns, "
+        f"{len(dataset.malicious_domains)} malicious domains\n"
+    )
+
+    print("training pipeline + replaying operation month ...")
+    evaluation = EnterpriseEvaluation(dataset)
+
+    print("\nC&C regression model (Section VI-A):")
+    print(evaluation.detector.report.cc_model.summary())
+
+    rows = []
+    for point in evaluation.cc_sweep((0.40, 0.44, 0.48)):
+        b = point.breakdown
+        rows.append((f"{point.threshold:.2f}", point.detected_count,
+                     b.known_malicious, b.new_malicious, b.legitimate,
+                     f"{b.tdr:.0%}"))
+    print()
+    print(render_table(
+        ("Tc", "detected", "VT/SOC", "new mal.", "legit", "TDR"),
+        rows, title="C&C detection sweep (Figure 6a analogue)",
+    ))
+
+    rows = []
+    for point in evaluation.no_hint_sweep((0.33, 0.5, 0.65, 0.85)):
+        b = point.breakdown
+        rows.append((f"{point.threshold:.2f}", point.detected_count,
+                     b.known_malicious, b.new_malicious, b.legitimate,
+                     f"{b.ndr:.0%}"))
+    print()
+    print(render_table(
+        ("Ts", "detected", "VT/SOC", "new mal.", "legit", "NDR"),
+        rows, title="No-hint belief propagation sweep (Figure 6b analogue)",
+    ))
+
+    rows = []
+    for point in evaluation.soc_hints_sweep((0.33, 0.40, 0.45)):
+        b = point.breakdown
+        rows.append((f"{point.threshold:.2f}", point.detected_count,
+                     b.known_malicious, b.new_malicious, b.legitimate))
+    print()
+    print(render_table(
+        ("Ts", "detected", "VT/SOC", "new mal.", "legit"),
+        rows, title="SOC-hints sweep (Figure 6c analogue), seeds excluded",
+    ))
+
+    no_hint = evaluation.no_hint_detections(0.33)
+    hints = evaluation.soc_hints_detections(0.33)
+    overlap = no_hint & hints
+    print(
+        f"\nmode complementarity (Section VI-D): no-hint={len(no_hint)}, "
+        f"SOC-hints={len(hints)}, overlap={len(overlap)} -> run both."
+    )
+
+
+if __name__ == "__main__":
+    main()

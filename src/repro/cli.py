@@ -1,0 +1,271 @@
+"""Command-line interface for the reproduction.
+
+Four subcommands cover the workflows a downstream user needs::
+
+    repro-detect lanl        # solve the LANL challenge, print Table III
+    repro-detect enterprise  # train + sweep the enterprise pipeline
+    repro-detect generate    # write synthetic logs to disk
+    repro-detect timing      # test one timestamp series for automation
+
+All commands are seeded and offline; see ``--help`` of each subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _add_lanl_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lanl", help="solve the LANL challenge and print the Table III analogue"
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--hosts", type=int, default=100)
+    parser.add_argument("--bootstrap-days", type=int, default=4)
+
+
+def _add_enterprise_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "enterprise",
+        help="train the enterprise pipeline and print the Figure 6 sweeps",
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--hosts", type=int, default=80)
+    parser.add_argument("--operation-days", type=int, default=8)
+    parser.add_argument("--campaigns", type=int, default=12)
+    parser.add_argument(
+        "--save-state", type=Path, default=None,
+        help="write the trained detector state to this JSON file",
+    )
+
+
+def _add_generate_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "generate", help="write synthetic LANL DNS logs to a directory"
+    )
+    parser.add_argument("output", type=Path, help="output directory")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--hosts", type=int, default=100)
+    parser.add_argument(
+        "--days", type=int, default=7, help="number of March days to write"
+    )
+    parser.add_argument(
+        "--netflow", action="store_true",
+        help="also write per-day NetFlow exports",
+    )
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run",
+        help="run detection over a directory of daily DNS log files "
+             "(as written by 'repro-detect generate')",
+    )
+    parser.add_argument("directory", type=Path)
+    parser.add_argument(
+        "--bootstrap-files", type=int, default=2,
+        help="leading files used to build the destination history",
+    )
+    parser.add_argument("--pattern", default="dns-*.log")
+    parser.add_argument(
+        "--internal-suffix", action="append", default=[],
+        help="internal namespace suffix to filter (repeatable)",
+    )
+
+
+def _add_timing_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "timing",
+        help="test a timestamp series (one float per line on stdin or a "
+             "file) for automated C&C-like behaviour",
+    )
+    parser.add_argument(
+        "series", nargs="?", type=Path, default=None,
+        help="file with one epoch timestamp per line (default: stdin)",
+    )
+    parser.add_argument("--bin-width", type=float, default=10.0)
+    parser.add_argument("--threshold", type=float, default=0.06)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-detect",
+        description="Early-stage enterprise infection detection "
+                    "(Oprea et al., DSN 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_lanl_parser(subparsers)
+    _add_enterprise_parser(subparsers)
+    _add_generate_parser(subparsers)
+    _add_run_parser(subparsers)
+    _add_timing_parser(subparsers)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _run_lanl(args) -> int:
+    from .eval import LanlChallengeSolver, render_table
+    from .synthetic import generate_lanl_dataset
+    from .synthetic.lanl import LanlConfig
+
+    dataset = generate_lanl_dataset(
+        LanlConfig(seed=args.seed, n_hosts=args.hosts,
+                   bootstrap_days=args.bootstrap_days)
+    )
+    report = LanlChallengeSolver(dataset).solve_all()
+    rows = []
+    for case in (1, 2, 3, 4):
+        train = report.counts_for(case, training=True)
+        test = report.counts_for(case, training=False)
+        rows.append((f"Case {case}", train.true_positives, test.true_positives,
+                     train.false_positives, test.false_positives,
+                     train.false_negatives, test.false_negatives))
+    print(render_table(
+        ("case", "TP(tr)", "TP(te)", "FP(tr)", "FP(te)", "FN(tr)", "FN(te)"),
+        rows, title="LANL challenge results",
+    ))
+    overall = report.overall
+    print(f"TDR={overall.tdr:.2%} FDR={overall.fdr:.2%} FNR={overall.fnr:.2%}")
+    return 0
+
+
+def _run_enterprise(args) -> int:
+    from .eval import EnterpriseEvaluation, render_table
+    from .synthetic import EnterpriseDatasetConfig, generate_enterprise_dataset
+
+    dataset = generate_enterprise_dataset(
+        EnterpriseDatasetConfig(
+            seed=args.seed, n_hosts=args.hosts,
+            operation_days=args.operation_days, n_campaigns=args.campaigns,
+        )
+    )
+    evaluation = EnterpriseEvaluation(dataset)
+    for title, sweep in (
+        ("C&C sweep (Fig 6a)", evaluation.cc_sweep()),
+        ("No-hint sweep (Fig 6b)", evaluation.no_hint_sweep()),
+        ("SOC-hints sweep (Fig 6c)", evaluation.soc_hints_sweep()),
+    ):
+        rows = [
+            (f"{p.threshold:.2f}", p.detected_count,
+             p.breakdown.known_malicious, p.breakdown.new_malicious,
+             p.breakdown.legitimate, f"{p.breakdown.tdr:.0%}")
+            for p in sweep
+        ]
+        print(render_table(
+            ("thr", "detected", "VT/SOC", "new", "legit", "TDR"),
+            rows, title=title,
+        ))
+        print()
+    if args.save_state is not None:
+        from .state import save_detector
+
+        save_detector(evaluation.detector, args.save_state)
+        print(f"detector state saved to {args.save_state}")
+    return 0
+
+
+def _run_generate(args) -> int:
+    from .logs import format_dns_line
+    from .logs.netflow import format_netflow_line
+    from .synthetic import generate_lanl_dataset
+    from .synthetic.lanl import LanlConfig
+
+    dataset = generate_lanl_dataset(
+        LanlConfig(seed=args.seed, n_hosts=args.hosts)
+    )
+    args.output.mkdir(parents=True, exist_ok=True)
+    for march_date in range(1, args.days + 1):
+        day_path = args.output / f"dns-march-{march_date:02d}.log"
+        with day_path.open("w") as handle:
+            for record in dataset.day_records(march_date):
+                handle.write(format_dns_line(record) + "\n")
+        print(f"wrote {day_path}")
+        if args.netflow:
+            flow_path = args.output / f"netflow-march-{march_date:02d}.log"
+            with flow_path.open("w") as handle:
+                for flow in dataset.day_netflow(march_date):
+                    handle.write(format_netflow_line(flow) + "\n")
+            print(f"wrote {flow_path}")
+    truth_path = args.output / "ground_truth.txt"
+    with truth_path.open("w") as handle:
+        for truth in dataset.campaigns:
+            handle.write(
+                f"3/{truth.march_date:02d} case{truth.case} "
+                f"hints={','.join(truth.hint_hosts) or '-'} "
+                f"domains={','.join(truth.malicious_domains)}\n"
+            )
+    print(f"wrote {truth_path}")
+    return 0
+
+
+def _run_run(args) -> int:
+    from .eval.clusters import triage_report
+    from .runner import run_directory
+
+    reports = run_directory(
+        args.directory,
+        bootstrap_files=args.bootstrap_files,
+        pattern=args.pattern,
+        internal_suffixes=tuple(args.internal_suffix),
+    )
+    all_detected: set[str] = set()
+    for report in reports:
+        print(
+            f"{report.path.name}: {report.records} records, "
+            f"{len(report.rare_domains)} rare, "
+            f"C&C={sorted(report.cc_domains) or '-'}, "
+            f"detected={report.detected or '-'}"
+        )
+        all_detected.update(report.detected)
+    if all_detected:
+        print()
+        print(triage_report(all_detected))
+    return 0
+
+
+def _run_timing(args) -> int:
+    from .config import HistogramConfig
+    from .timing import AutomationDetector
+
+    if args.series is not None:
+        lines = args.series.read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    try:
+        timestamps = sorted(float(line) for line in lines if line.strip())
+    except ValueError:
+        print("error: series must contain one float per line", file=sys.stderr)
+        return 2
+    detector = AutomationDetector(
+        HistogramConfig(bin_width=args.bin_width,
+                        jeffrey_threshold=args.threshold)
+    )
+    verdict = detector.test_series("cli", "cli", timestamps)
+    print(f"connections:  {verdict.connections}")
+    print(f"divergence:   {verdict.divergence:.4f} (threshold {args.threshold})")
+    if verdict.period:
+        print(f"period:       {verdict.period:.1f} s")
+    print(f"automated:    {'YES' if verdict.automated else 'no'}")
+    return 0 if verdict.automated else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "lanl": _run_lanl,
+        "enterprise": _run_enterprise,
+        "generate": _run_generate,
+        "run": _run_run,
+        "timing": _run_timing,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

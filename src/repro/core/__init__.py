@@ -1,0 +1,36 @@
+"""Core contribution: belief propagation, scorers, detection pipeline."""
+
+from .beliefprop import (
+    BeliefPropagationResult,
+    Detection,
+    IterationTrace,
+    belief_propagation,
+)
+from .graph import InfectionGraph, Label, NodeKind, NodeRecord
+from .pipeline import DayResult, EnterpriseDetector, TrainingReport
+from .scoring import (
+    AdditiveSimilarityScorer,
+    RegressionCCScorer,
+    RegressionSimilarityScorer,
+    ScoredDomain,
+    multi_host_beacon_heuristic,
+)
+
+__all__ = [
+    "BeliefPropagationResult",
+    "Detection",
+    "IterationTrace",
+    "belief_propagation",
+    "InfectionGraph",
+    "Label",
+    "NodeKind",
+    "NodeRecord",
+    "DayResult",
+    "EnterpriseDetector",
+    "TrainingReport",
+    "AdditiveSimilarityScorer",
+    "RegressionCCScorer",
+    "RegressionSimilarityScorer",
+    "ScoredDomain",
+    "multi_host_beacon_heuristic",
+]

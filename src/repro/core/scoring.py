@@ -1,0 +1,173 @@
+"""Domain scorers: regression-weighted (enterprise) and additive (LANL).
+
+Two interchangeable scorer families plug into belief propagation:
+
+* :class:`RegressionCCScorer` / :class:`RegressionSimilarityScorer` --
+  the enterprise path (Sections IV-C, IV-D): features weighted by a
+  trained linear model.
+* :class:`AdditiveSimilarityScorer` and
+  :func:`multi_host_beacon_heuristic` -- the LANL path (Section V-B),
+  where registration and HTTP features do not exist and training data
+  is too scarce for regression: a normalized additive score over
+  connectivity, timing and IP proximity, and the "two hosts beaconing
+  in sync" C&C heuristic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..features.extract import FeatureExtractor
+from ..features.regression import LinearModel
+from ..profiling.rare import DailyTraffic
+from ..timing.detector import AutomationVerdict
+
+
+@dataclass(frozen=True)
+class ScoredDomain:
+    """A domain with its computed suspiciousness score."""
+
+    domain: str
+    score: float
+
+
+class RegressionCCScorer:
+    """Scores rare automated domains with the trained C&C model."""
+
+    def __init__(
+        self,
+        model: LinearModel,
+        extractor: FeatureExtractor,
+        threshold: float = 0.4,
+    ) -> None:
+        self.model = model
+        self.extractor = extractor
+        self.threshold = threshold
+
+    def score(
+        self,
+        domain: str,
+        traffic: DailyTraffic,
+        automated_hosts: set[str],
+        when: float,
+    ) -> float:
+        features = self.extractor.cc_features(domain, traffic, automated_hosts, when)
+        return self.model.score(features.as_vector())
+
+    def is_cc(
+        self,
+        domain: str,
+        traffic: DailyTraffic,
+        automated_hosts: set[str],
+        when: float,
+    ) -> bool:
+        """``Detect_C&C``: automated connections + score above ``Tc``."""
+        if not automated_hosts:
+            return False
+        return self.score(domain, traffic, automated_hosts, when) >= self.threshold
+
+
+class RegressionSimilarityScorer:
+    """Scores rare domains against the labeled-malicious set."""
+
+    def __init__(self, model: LinearModel, extractor: FeatureExtractor) -> None:
+        self.model = model
+        self.extractor = extractor
+
+    def score(
+        self,
+        domain: str,
+        malicious: set[str],
+        traffic: DailyTraffic,
+        when: float,
+    ) -> float:
+        features = self.extractor.similarity_features(
+            domain, malicious, traffic, when
+        )
+        return self.model.score(features.as_vector())
+
+
+class AdditiveSimilarityScorer:
+    """LANL additive similarity score (Section V-B).
+
+    Three components, summed then normalized by the maximum possible
+    sum so the score lies in [0, 1]:
+
+    * connectivity: hosts contacting the domain, scaled to [0, 1];
+    * timing: 1 when the domain was first contacted within
+      ``timing_window`` of a malicious domain by the same host;
+    * IP proximity: 2 for sharing a /24 with a malicious domain, 1 for
+      a /16, 0 otherwise.
+    """
+
+    MAX_COMPONENT_SUM = 4.0  # 1 (connectivity) + 1 (timing) + 2 (IP/24)
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor | None = None,
+        *,
+        timing_window: float = 600.0,
+        host_cap: int = 10,
+    ) -> None:
+        self.extractor = extractor or FeatureExtractor()
+        self.timing_window = timing_window
+        self.host_cap = host_cap
+
+    def components(
+        self, domain: str, malicious: set[str], traffic: DailyTraffic
+    ) -> tuple[float, float, float]:
+        """(connectivity, timing, ip) raw components."""
+        hosts = len(traffic.hosts_by_domain.get(domain, ()))
+        connectivity = min(hosts, self.host_cap) / self.host_cap
+        gap = FeatureExtractor.min_visit_gap(domain, malicious, traffic)
+        timing = 1.0 if gap is not None and gap <= self.timing_window else 0.0
+        ip24, ip16 = FeatureExtractor.subnet_proximity(domain, malicious, traffic)
+        if ip24:
+            ip = 2.0
+        elif ip16:
+            ip = 1.0
+        else:
+            ip = 0.0
+        return connectivity, timing, ip
+
+    def score(
+        self,
+        domain: str,
+        malicious: set[str],
+        traffic: DailyTraffic,
+        when: float = 0.0,
+    ) -> float:
+        connectivity, timing, ip = self.components(domain, malicious, traffic)
+        return (connectivity + timing + ip) / self.MAX_COMPONENT_SUM
+
+
+def multi_host_beacon_heuristic(
+    domain: str,
+    verdicts: Sequence[AutomationVerdict],
+    traffic: DailyTraffic,
+    *,
+    sync_window: float = 10.0,
+    min_hosts: int = 2,
+) -> bool:
+    """LANL C&C heuristic (Section V-B).
+
+    A rare automated domain is potential C&C when at least ``min_hosts``
+    distinct hosts beacon to it *at similar time periods* -- their
+    inferred periods differ by at most ``sync_window`` seconds.  This
+    works on LANL because every simulated campaign infects multiple
+    hosts; the enterprise regression scorer handles the single-host
+    case.
+    """
+    periods = [
+        v.period for v in verdicts if v.domain == domain and v.automated
+    ]
+    if len(periods) < min_hosts:
+        return False
+    periods.sort()
+    # Any pair within the window qualifies; with sorted periods the
+    # closest pairs are adjacent.
+    return any(
+        later - earlier <= sync_window
+        for earlier, later in zip(periods, periods[1:])
+    )

@@ -1,0 +1,65 @@
+"""Evaluation harness: metrics, LANL challenge, enterprise sweeps."""
+
+from .clusters import (
+    DomainCluster,
+    cluster_by_name,
+    cluster_by_subnet,
+    cluster_by_url_pattern,
+    name_entropy,
+    name_signature,
+    triage_report,
+)
+from .enterprise_eval import EnterpriseEvaluation, OperationalDay, SweepPoint
+from .incident import DomainEvidence, IncidentReport, build_incident
+from .ledger import DetectionLedger, DomainDossier
+from .lanl_challenge import (
+    ChallengeReport,
+    DayOutcome,
+    LanlChallengeSolver,
+    LanlDayContext,
+    SweepRow,
+    sweep_histogram_parameters,
+    timing_gap_samples,
+)
+from .metrics import (
+    DetectionCounts,
+    ValidationBreakdown,
+    new_discovery_rate,
+    score_detections,
+    validate_detections,
+)
+from .reporting import cdf_at, render_cdf, render_series, render_table
+
+__all__ = [
+    "DomainCluster",
+    "cluster_by_name",
+    "cluster_by_subnet",
+    "cluster_by_url_pattern",
+    "name_entropy",
+    "name_signature",
+    "triage_report",
+    "DetectionLedger",
+    "DomainDossier",
+    "DomainEvidence",
+    "IncidentReport",
+    "build_incident",
+    "EnterpriseEvaluation",
+    "OperationalDay",
+    "SweepPoint",
+    "ChallengeReport",
+    "DayOutcome",
+    "LanlChallengeSolver",
+    "LanlDayContext",
+    "SweepRow",
+    "sweep_histogram_parameters",
+    "timing_gap_samples",
+    "DetectionCounts",
+    "ValidationBreakdown",
+    "new_discovery_rate",
+    "score_detections",
+    "validate_detections",
+    "cdf_at",
+    "render_cdf",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,138 @@
+"""SOC-facing incident reports (Section III-E's system output).
+
+The system's deliverable to the SOC is "an ordered list of suspicious
+domains presented ... for further investigation".  An analyst needs the
+evidence, not just the list: which hosts contacted each domain, the
+beacon period if the connection was automated, WHOIS age, whether
+VirusTotal already knows it, and how the domain entered the graph (C&C
+detection vs similarity, at which belief-propagation iteration, at what
+score).  :func:`build_incident` assembles that evidence from a
+belief-propagation result plus the day's traffic; the rendering is the
+artifact a SOC queue would receive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..core.beliefprop import BeliefPropagationResult
+from ..intel.virustotal import VirusTotalOracle
+from ..intel.whois_db import WhoisDatabase
+from ..profiling.rare import DailyTraffic
+from ..timing.detector import AutomationVerdict
+
+
+@dataclass(frozen=True)
+class DomainEvidence:
+    """Everything an analyst sees for one suspicious domain."""
+
+    domain: str
+    reason: str
+    iteration: int
+    score: float
+    hosts: tuple[str, ...]
+    connection_count: int
+    beacon_period: float | None
+    """Inferred beacon period in seconds, when any contacting host's
+    series was labeled automated."""
+
+    resolved_ips: tuple[str, ...]
+    dom_age_days: float | None
+    vt_reported: bool | None
+
+
+@dataclass
+class IncidentReport:
+    """One day's detection outcome, ready for the SOC queue."""
+
+    day: int
+    evidence: list[DomainEvidence] = field(default_factory=list)
+    compromised_hosts: tuple[str, ...] = ()
+
+    @property
+    def domains(self) -> list[str]:
+        return [e.domain for e in self.evidence]
+
+    def render(self) -> str:
+        lines = [
+            f"incident report, day {self.day}: "
+            f"{len(self.evidence)} suspicious domains, "
+            f"{len(self.compromised_hosts)} hosts implicated",
+        ]
+        for ev in self.evidence:
+            vt = ("VT-known" if ev.vt_reported
+                  else "VT-unknown" if ev.vt_reported is not None else "VT: n/a")
+            age = (f"{ev.dom_age_days:.0f}d old" if ev.dom_age_days is not None
+                   else "no WHOIS")
+            beacon = (f"beacon {ev.beacon_period:.0f}s"
+                      if ev.beacon_period is not None else "no beacon")
+            lines.append(
+                f"  [{ev.reason} iter {ev.iteration} score {ev.score:.2f}] "
+                f"{ev.domain}  ({len(ev.hosts)} hosts, "
+                f"{ev.connection_count} conns, {beacon}, {age}, {vt})"
+            )
+        lines.append(
+            "  hosts: " + (", ".join(self.compromised_hosts) or "(none)")
+        )
+        return "\n".join(lines)
+
+
+def build_incident(
+    result: BeliefPropagationResult,
+    traffic: DailyTraffic,
+    *,
+    verdicts: Iterable[AutomationVerdict] = (),
+    whois: WhoisDatabase | None = None,
+    virustotal: VirusTotalOracle | None = None,
+    when: float = 0.0,
+    include_seeds: bool = False,
+) -> IncidentReport:
+    """Assemble the evidence dossier for one BP run.
+
+    ``verdicts`` are the day's automation verdicts (for beacon
+    periods); ``whois``/``virustotal`` enrich with registration age and
+    reported status when available.  Seed domains are excluded by
+    default since the SOC already knows them.
+    """
+    period_by_domain: dict[str, float] = {}
+    for verdict in verdicts:
+        if verdict.automated:
+            period_by_domain.setdefault(verdict.domain, verdict.period)
+
+    evidence: list[DomainEvidence] = []
+    for detection in result.detections:
+        if detection.reason == "seed" and not include_seeds:
+            continue
+        domain = detection.domain
+        hosts = tuple(sorted(traffic.hosts_by_domain.get(domain, ())))
+        connection_count = sum(
+            len(traffic.connection_times(host, domain)) for host in hosts
+        )
+        age_days = None
+        if whois is not None:
+            record = whois.lookup(domain)
+            if record is not None:
+                age_days = record.age_days(when)
+        evidence.append(
+            DomainEvidence(
+                domain=domain,
+                reason=detection.reason,
+                iteration=detection.iteration,
+                score=detection.score,
+                hosts=hosts,
+                connection_count=connection_count,
+                beacon_period=period_by_domain.get(domain),
+                resolved_ips=tuple(sorted(traffic.resolved_ips.get(domain, ()))),
+                dom_age_days=age_days,
+                vt_reported=(
+                    virustotal.is_reported(domain)
+                    if virustotal is not None else None
+                ),
+            )
+        )
+    return IncidentReport(
+        day=traffic.day,
+        evidence=evidence,
+        compromised_hosts=tuple(sorted(result.hosts)),
+    )

@@ -1,0 +1,359 @@
+"""LANL challenge solver and evaluation (Section V).
+
+Replays the paper's methodology on the synthetic LANL world, one March
+date at a time and strictly in order (histories update at end of day):
+
+1. reduce the day's raw DNS records through the Section IV-A funnel;
+2. extract rare destinations against the incrementally built history;
+3. run the dynamic-histogram automation detector over rare
+   (host, domain) series;
+4. apply the LANL C&C heuristic -- at least two distinct hosts
+   beaconing to the domain at similar periods (Section V-B);
+5. run belief propagation with the additive similarity scorer, seeded
+   by the case's hint hosts (cases 1-3) or by the detected C&C domains
+   (case 4);
+6. score detections against the challenge answers (Table III).
+
+The module also computes the Figure 3 timing CDFs and the Table II
+(W, JT) parameter sweep from the same day contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import LANL_CONFIG, SystemConfig
+from ..core.beliefprop import BeliefPropagationResult, belief_propagation
+from ..core.scoring import AdditiveSimilarityScorer, multi_host_beacon_heuristic
+from ..logs.normalize import normalize_dns_records
+from ..logs.reduction import ReductionFunnel
+from ..profiling.history import DestinationHistory
+from ..profiling.rare import DailyTraffic, extract_rare_domains, rare_domains_by_host
+from ..synthetic.lanl import LanlCampaignTruth, LanlDataset
+from ..timing.detector import AutomationDetector, AutomationVerdict
+from .metrics import DetectionCounts, ZERO_COUNTS, score_detections
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass
+class LanlDayContext:
+    """Aggregated state for one March date, ready for detection."""
+
+    march_date: int
+    day: int
+    traffic: DailyTraffic
+    rare: set[str]
+    truth: LanlCampaignTruth | None
+
+    def rare_series(self) -> list[tuple[tuple[str, str], list[float]]]:
+        """(host, domain) timestamp series restricted to rare domains."""
+        self.traffic.finalize()
+        return [
+            (key, times)
+            for key, times in sorted(self.traffic.timestamps.items())
+            if key[1] in self.rare
+        ]
+
+
+@dataclass
+class DayOutcome:
+    """Detection result for one challenge day."""
+
+    march_date: int
+    case: int
+    detected: list[str]
+    counts: DetectionCounts
+    cc_seeds: set[str]
+    bp_result: BeliefPropagationResult | None
+
+
+@dataclass
+class ChallengeReport:
+    """Aggregate results over all 20 campaigns (Table III)."""
+
+    outcomes: list[DayOutcome] = field(default_factory=list)
+
+    def counts_for(self, case: int, training: bool) -> DetectionCounts:
+        from ..synthetic.lanl import TRAINING_DATES
+
+        total = ZERO_COUNTS
+        for outcome in self.outcomes:
+            if outcome.case != case:
+                continue
+            if (outcome.march_date in TRAINING_DATES) != training:
+                continue
+            total = total + outcome.counts
+        return total
+
+    def totals(self, training: bool) -> DetectionCounts:
+        from ..synthetic.lanl import TRAINING_DATES
+
+        total = ZERO_COUNTS
+        for outcome in self.outcomes:
+            if (outcome.march_date in TRAINING_DATES) == training:
+                total = total + outcome.counts
+        return total
+
+    @property
+    def overall(self) -> DetectionCounts:
+        return self.totals(True) + self.totals(False)
+
+
+class LanlChallengeSolver:
+    """Stateful solver; call :meth:`solve_day` in chronological order."""
+
+    def __init__(
+        self,
+        dataset: LanlDataset,
+        config: SystemConfig | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or LANL_CONFIG
+        self.history = DestinationHistory()
+        self.history.bootstrap(dataset.bootstrap_domains)
+        self.funnel = ReductionFunnel(
+            dataset.internal_suffixes,
+            dataset.server_ips,
+            fold_level=self.config.rarity.fold_level,
+        )
+        self.automation = AutomationDetector(self.config.histogram)
+        self.scorer = AdditiveSimilarityScorer()
+        self._solved_dates: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def day_context(self, march_date: int) -> LanlDayContext:
+        """Reduce, normalize and aggregate one day (no detection yet)."""
+        day = self.dataset.config.bootstrap_days + (march_date - 1)
+        records = self.dataset.day_records(march_date)
+        reduced = self.funnel.reduce(records)
+        connections = list(
+            normalize_dns_records(
+                reduced, fold_level=self.config.rarity.fold_level
+            )
+        )
+        traffic = DailyTraffic(day)
+        traffic.ingest(connections)
+        traffic.finalize()
+
+        new_domains = {
+            domain
+            for domain in traffic.hosts_by_domain
+            if self.history.is_new(domain)
+        }
+        rare = extract_rare_domains(
+            traffic,
+            self.history,
+            unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
+        )
+        self.funnel.observe_profiling_step("new", day, new_domains)
+        self.funnel.observe_profiling_step("rare", day, rare)
+        return LanlDayContext(
+            march_date=march_date,
+            day=day,
+            traffic=traffic,
+            rare=rare,
+            truth=self.dataset.campaign_for_date(march_date),
+        )
+
+    def _commit_day(self, context: LanlDayContext) -> None:
+        for domain in context.traffic.hosts_by_domain:
+            self.history.stage(domain, context.day)
+        self.history.commit_day(context.day)
+        self._solved_dates.append(context.march_date)
+
+    def detect_cc_domains(
+        self, context: LanlDayContext
+    ) -> tuple[set[str], list[AutomationVerdict]]:
+        """LANL C&C heuristic over the day's rare automated domains."""
+        verdicts = self.automation.automated_pairs(context.rare_series())
+        cc: set[str] = set()
+        for domain in {v.domain for v in verdicts}:
+            if multi_host_beacon_heuristic(domain, verdicts, context.traffic):
+                cc.add(domain)
+        return cc, verdicts
+
+    def run_belief_propagation(
+        self,
+        context: LanlDayContext,
+        seed_hosts: set[str],
+        seed_domains: set[str],
+        cc_set: set[str],
+    ) -> BeliefPropagationResult:
+        host_rdom = rare_domains_by_host(context.traffic, context.rare)
+        dom_host = {
+            domain: frozenset(context.traffic.hosts_by_domain.get(domain, ()))
+            for domain in context.rare
+        }
+
+        def detect_cc(domain: str) -> bool:
+            return domain in cc_set
+
+        def similarity(domain: str, malicious: set[str]) -> float:
+            return self.scorer.score(domain, malicious, context.traffic)
+
+        return belief_propagation(
+            seed_hosts,
+            seed_domains,
+            dom_host=dom_host,
+            host_rdom=host_rdom,
+            detect_cc=detect_cc,
+            similarity_score=similarity,
+            config=self.config.belief_propagation,
+        )
+
+    def solve_day(self, march_date: int) -> DayOutcome:
+        """Full detection for one day; updates histories afterwards."""
+        context = self.day_context(march_date)
+        truth = context.truth
+        cc_set, _verdicts = self.detect_cc_domains(context)
+
+        bp_result: BeliefPropagationResult | None = None
+        detected: list[str] = []
+        if truth is not None and truth.hint_hosts:
+            # Cases 1-3: seed with the hint hosts only.
+            bp_result = self.run_belief_propagation(
+                context, set(truth.hint_hosts), set(), cc_set
+            )
+            detected = bp_result.detected_domains
+        elif cc_set:
+            # Case 4 (or any unhinted day): seed with detected C&C.
+            seed_hosts: set[str] = set()
+            for domain in cc_set:
+                seed_hosts.update(context.traffic.hosts_by_domain.get(domain, ()))
+            bp_result = self.run_belief_propagation(
+                context, seed_hosts, set(cc_set), cc_set
+            )
+            detected = sorted(cc_set) + bp_result.detected_domains
+
+        truth_domains = set(truth.malicious_domains) if truth else set()
+        counts = score_detections(detected, truth_domains)
+        outcome = DayOutcome(
+            march_date=march_date,
+            case=truth.case if truth else 0,
+            detected=detected,
+            counts=counts,
+            cc_seeds=cc_set,
+            bp_result=bp_result,
+        )
+        self._commit_day(context)
+        return outcome
+
+    def solve_all(self) -> ChallengeReport:
+        """Solve every challenge date in chronological order."""
+        report = ChallengeReport()
+        dates = sorted(t.march_date for t in self.dataset.campaigns)
+        for march_date in dates:
+            report.outcomes.append(self.solve_day(march_date))
+        return report
+
+
+def timing_gap_samples(
+    solver: LanlChallengeSolver, march_dates: list[int]
+) -> tuple[list[float], list[float]]:
+    """Figure 3 inputs: first-visit gaps for domain pairs by one host.
+
+    Returns (malicious-to-malicious gaps, malicious-to-rare-legitimate
+    gaps), collected over compromised hosts on the given dates.  The
+    solver's history is consumed in order, so pass dates before solving
+    them elsewhere (or use a dedicated solver instance).
+    """
+    mal_mal: list[float] = []
+    mal_legit: list[float] = []
+    for march_date in sorted(march_dates):
+        context = solver.day_context(march_date)
+        truth = context.truth
+        if truth is None:
+            solver._commit_day(context)
+            continue
+        malicious = set(truth.malicious_domains)
+        for host in truth.compromised_hosts:
+            visited = [
+                domain
+                for domain in context.traffic.domains_by_host.get(host, ())
+                if domain in context.rare
+            ]
+            first = {
+                domain: context.traffic.first_contact(host, domain)
+                for domain in visited
+            }
+            mal_visited = [d for d in visited if d in malicious]
+            legit_visited = [d for d in visited if d not in malicious]
+            for index, dom_a in enumerate(mal_visited):
+                for dom_b in mal_visited[index + 1:]:
+                    mal_mal.append(abs(first[dom_a] - first[dom_b]))
+                for dom_b in legit_visited:
+                    mal_legit.append(abs(first[dom_a] - first[dom_b]))
+        solver._commit_day(context)
+    return mal_mal, mal_legit
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One Table II row."""
+
+    bin_width: float
+    jeffrey_threshold: float
+    malicious_pairs_training: int
+    malicious_pairs_testing: int
+    all_pairs_testing: int
+
+
+def sweep_histogram_parameters(
+    dataset: LanlDataset,
+    bin_widths: tuple[float, ...] = (5.0, 10.0, 20.0),
+    thresholds: tuple[float, ...] = (0.0, 0.034, 0.06, 0.35),
+    *,
+    config: SystemConfig | None = None,
+) -> list[SweepRow]:
+    """Table II: automated-pair counts per (W, JT) combination.
+
+    "Malicious pairs" are (host, C&C-domain) beacon pairs from the
+    ground truth; "all pairs" counts every (host, rare domain) series
+    labeled automated on testing days.
+    """
+    from ..config import HistogramConfig
+    from ..synthetic.lanl import TRAINING_DATES
+
+    solver = LanlChallengeSolver(dataset, config)
+    contexts: list[LanlDayContext] = []
+    for march_date in sorted(t.march_date for t in dataset.campaigns):
+        context = solver.day_context(march_date)
+        contexts.append(context)
+        solver._commit_day(context)
+
+    rows: list[SweepRow] = []
+    for width in bin_widths:
+        for threshold in thresholds:
+            detector = AutomationDetector(
+                HistogramConfig(bin_width=width, jeffrey_threshold=threshold)
+            )
+            mal_train = mal_test = all_test = 0
+            for context in contexts:
+                truth = context.truth
+                cc_pairs: set[tuple[str, str]] = set()
+                if truth is not None:
+                    for domain in truth.cc_domains:
+                        for host in truth.compromised_hosts:
+                            cc_pairs.add((host, domain))
+                training = truth is not None and truth.is_training
+                for verdict in detector.automated_pairs(context.rare_series()):
+                    pair = (verdict.host, verdict.domain)
+                    if pair in cc_pairs:
+                        if training:
+                            mal_train += 1
+                        else:
+                            mal_test += 1
+                    if not training:
+                        all_test += 1
+            rows.append(
+                SweepRow(
+                    bin_width=width,
+                    jeffrey_threshold=threshold,
+                    malicious_pairs_training=mal_train,
+                    malicious_pairs_testing=mal_test,
+                    all_pairs_testing=all_test,
+                )
+            )
+    return rows

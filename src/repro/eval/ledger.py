@@ -1,0 +1,158 @@
+"""Multi-day detection ledger (Section VIII's longitudinal monitoring).
+
+The paper closes by noting that "monitoring activity to these
+suspicious domains over longer periods of time ... will answer"
+whether detections belong to advanced campaigns or mainstream malware.
+The ledger is that longitudinal view: it accumulates each day's
+detections and builds per-domain dossiers across the month --
+first/last seen, how often redetected, by which mode, with which hosts
+-- plus cross-day correlation (domains repeatedly co-detected with the
+same partners are almost certainly one campaign).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DomainDossier:
+    """Longitudinal record for one detected domain."""
+
+    domain: str
+    first_day: int
+    last_day: int
+    detection_days: list[int] = field(default_factory=list)
+    modes: set[str] = field(default_factory=set)
+    hosts: set[str] = field(default_factory=set)
+    best_score: float = 0.0
+
+    @property
+    def persistence_days(self) -> int:
+        """Span between first and last detection (inclusive)."""
+        return self.last_day - self.first_day + 1
+
+    @property
+    def redetections(self) -> int:
+        return len(self.detection_days) - 1
+
+
+class DetectionLedger:
+    """Accumulates daily detections into longitudinal dossiers."""
+
+    def __init__(self) -> None:
+        self._dossiers: dict[str, DomainDossier] = {}
+        self._co_detections: dict[frozenset[str], int] = defaultdict(int)
+
+    def __len__(self) -> int:
+        return len(self._dossiers)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._dossiers
+
+    def record_day(
+        self,
+        day: int,
+        detections: Iterable[tuple[str, float]],
+        *,
+        mode: str,
+        hosts_by_domain: dict[str, set[str]] | None = None,
+    ) -> None:
+        """Fold one day's detections in.
+
+        ``detections`` yields (domain, score) pairs; ``mode`` is
+        ``"no-hint"`` / ``"soc-hints"`` / etc.; ``hosts_by_domain``
+        optionally attaches the implicated hosts.
+        """
+        hosts_by_domain = hosts_by_domain or {}
+        todays: list[str] = []
+        for domain, score in detections:
+            todays.append(domain)
+            dossier = self._dossiers.get(domain)
+            if dossier is None:
+                dossier = DomainDossier(
+                    domain=domain, first_day=day, last_day=day
+                )
+                self._dossiers[domain] = dossier
+            dossier.last_day = max(dossier.last_day, day)
+            if day not in dossier.detection_days:
+                dossier.detection_days.append(day)
+            dossier.modes.add(mode)
+            dossier.hosts.update(hosts_by_domain.get(domain, ()))
+            dossier.best_score = max(dossier.best_score, score)
+        # Co-detection counts drive the cross-day campaign correlation.
+        unique = sorted(set(todays))
+        for i, dom_a in enumerate(unique):
+            for dom_b in unique[i + 1:]:
+                self._co_detections[frozenset((dom_a, dom_b))] += 1
+
+    def dossier(self, domain: str) -> DomainDossier:
+        return self._dossiers[domain]
+
+    def dossiers(self) -> list[DomainDossier]:
+        """All dossiers, most persistent first."""
+        return sorted(
+            self._dossiers.values(),
+            key=lambda d: (-len(d.detection_days), d.first_day, d.domain),
+        )
+
+    def recurring(self, min_days: int = 2) -> list[DomainDossier]:
+        """Domains detected on at least ``min_days`` distinct days --
+        the strongest candidates for active long-lived campaigns."""
+        return [
+            d for d in self.dossiers() if len(d.detection_days) >= min_days
+        ]
+
+    def campaign_components(self, min_co_detections: int = 1) -> list[set[str]]:
+        """Connected components of the co-detection graph.
+
+        Domains repeatedly detected together are merged into one
+        campaign candidate; returns components of size >= 2, largest
+        first.
+        """
+        adjacency: dict[str, set[str]] = defaultdict(set)
+        for pair, count in self._co_detections.items():
+            if count >= min_co_detections:
+                dom_a, dom_b = sorted(pair)
+                adjacency[dom_a].add(dom_b)
+                adjacency[dom_b].add(dom_a)
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for start in sorted(adjacency):
+            if start in seen:
+                continue
+            stack, component = [start], set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(adjacency[node] - component)
+            seen.update(component)
+            if len(component) >= 2:
+                components.append(component)
+        components.sort(key=lambda c: (-len(c), sorted(c)[0]))
+        return components
+
+    def render(self, *, limit: int = 20) -> str:
+        """Month-level summary for the SOC."""
+        dossiers = self.dossiers()
+        lines = [
+            f"detection ledger: {len(dossiers)} domains across "
+            f"{len({d for dos in dossiers for d in dos.detection_days})} days",
+        ]
+        for dossier in dossiers[:limit]:
+            modes = "+".join(sorted(dossier.modes))
+            lines.append(
+                f"  {dossier.domain:<34} days {dossier.detection_days} "
+                f"[{modes}] hosts={len(dossier.hosts)} "
+                f"score<={dossier.best_score:.2f}"
+            )
+        components = self.campaign_components()
+        if components:
+            lines.append("campaign candidates (co-detection components):")
+            for component in components[:limit]:
+                lines.append(f"  {sorted(component)}")
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Feature selection by coefficient significance (Sections VI-A).
+
+The paper prunes its regression models exactly this way: "the only one
+with low significance was AutoHosts, which we believe is highly
+correlated with NoHosts and thus omit it" (C&C model), and "the only
+one with low significance was IP16, as we believe it's highly
+correlated with IP24" (similarity model).
+
+:func:`backward_eliminate` automates the procedure: fit, drop the least
+significant feature if its p-value exceeds the cutoff, refit, repeat.
+Collinear twins (AutoHosts/NoHosts, IP16/IP24) are exactly what this
+removes first, because collinearity inflates their standard errors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .regression import LinearModel, fit_linear_model
+
+
+@dataclass(frozen=True)
+class EliminationStep:
+    """One round of backward elimination."""
+
+    dropped: str
+    p_value: float
+    remaining: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The pruned model plus the elimination audit trail."""
+
+    model: LinearModel
+    steps: tuple[EliminationStep, ...]
+
+    @property
+    def dropped_features(self) -> tuple[str, ...]:
+        return tuple(step.dropped for step in self.steps)
+
+
+def backward_eliminate(
+    feature_names: Sequence[str],
+    matrix: Sequence[Sequence[float]],
+    labels: Sequence[float],
+    *,
+    p_cutoff: float = 0.05,
+    min_features: int = 1,
+    ridge: float = 0.0,
+) -> SelectionResult:
+    """Iteratively drop the least significant feature above ``p_cutoff``.
+
+    Stops when every remaining coefficient is significant at the
+    cutoff, or when only ``min_features`` remain.  The intercept is
+    never considered for elimination.
+    """
+    if min_features < 1:
+        raise ValueError("min_features must be at least 1")
+    names = list(feature_names)
+    data = np.asarray(matrix, dtype=float)
+    steps: list[EliminationStep] = []
+
+    while True:
+        model = fit_linear_model(names, data.tolist(), labels, ridge=ridge)
+        if len(names) <= min_features:
+            break
+        candidates = [
+            coef for coef in model.coefficients if coef.name != "(intercept)"
+        ]
+        worst = max(candidates, key=lambda c: c.p_value)
+        if worst.p_value <= p_cutoff:
+            break
+        index = names.index(worst.name)
+        names.pop(index)
+        data = np.delete(data, index, axis=1)
+        steps.append(
+            EliminationStep(
+                dropped=worst.name,
+                p_value=worst.p_value,
+                remaining=tuple(names),
+            )
+        )
+
+    return SelectionResult(model=model, steps=tuple(steps))
+
+
+def project_features(
+    full_names: Sequence[str],
+    kept_names: Sequence[str],
+    vector: Sequence[float],
+) -> list[float]:
+    """Project a full feature vector onto a pruned model's features.
+
+    Lets callers keep extracting the full vectors while scoring with a
+    pruned model.
+    """
+    index_of = {name: i for i, name in enumerate(full_names)}
+    missing = [name for name in kept_names if name not in index_of]
+    if missing:
+        raise KeyError(f"features {missing} not present in {list(full_names)}")
+    return [vector[index_of[name]] for name in kept_names]

@@ -1,0 +1,7 @@
+"""External-intelligence substrates: WHOIS, VirusTotal, SOC IOCs."""
+
+from .ioc import IocList
+from .virustotal import VirusTotalOracle
+from .whois_db import WhoisDatabase, WhoisRecord
+
+__all__ = ["IocList", "VirusTotalOracle", "WhoisDatabase", "WhoisRecord"]

@@ -1,0 +1,152 @@
+"""Record types for the log formats the system consumes.
+
+The paper's pipeline ingests two families of border logs:
+
+* **DNS logs** (the LANL dataset): queries by internal hosts and the
+  responses of the site's resolvers.  Only A records carry usable
+  information there (Section IV-A).
+* **Web-proxy logs** (the AC dataset): HTTP/HTTPS connections
+  intercepted at the enterprise border, with URL, user-agent, referer
+  and status code.
+
+DHCP leases and VPN sessions are side inputs used to normalize dynamic
+IP addresses back to stable hostnames (Section IV-A).
+
+All timestamps are POSIX epoch seconds in UTC *after* normalization;
+raw proxy records may carry a collector-local timestamp plus a timezone
+offset that :mod:`repro.logs.normalize` resolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DnsRecordType(str, Enum):
+    """DNS record types observed in the LANL logs.
+
+    Non-A records are redacted in the released data and carry no usable
+    payload, so the reduction step drops them.
+    """
+
+    A = "A"
+    AAAA = "AAAA"
+    TXT = "TXT"
+    MX = "MX"
+    CNAME = "CNAME"
+    PTR = "PTR"
+    SRV = "SRV"
+
+
+@dataclass(frozen=True, slots=True)
+class DnsRecord:
+    """One DNS query/response pair from the LANL-style logs."""
+
+    timestamp: float
+    """Epoch seconds (UTC)."""
+
+    source_ip: str
+    """Internal host that issued the query (anonymized in LANL)."""
+
+    domain: str
+    """Queried name (anonymized in LANL, e.g. ``rainbow-.c3``)."""
+
+    record_type: DnsRecordType = DnsRecordType.A
+    resolved_ip: str = ""
+    """Response address; empty when the lookup failed or was redacted."""
+
+    @property
+    def is_a_record(self) -> bool:
+        return self.record_type is DnsRecordType.A
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyRecord:
+    """One web-proxy log line from the AC-style logs."""
+
+    timestamp: float
+    """Epoch seconds, possibly collector-local before normalization."""
+
+    source_ip: str
+    """Client address (frequently a DHCP or VPN address)."""
+
+    destination: str
+    """Destination host part of the URL; may be a bare IP address."""
+
+    destination_ip: str = ""
+    url_path: str = "/"
+    method: str = "GET"
+    status_code: int = 200
+    user_agent: str = ""
+    referer: str = ""
+    tz_offset_hours: float = 0.0
+    """Offset of the collector's clock from UTC in hours (0 after
+    normalization)."""
+
+    hostname: str = ""
+    """Stable client hostname; filled in by normalization from DHCP/VPN
+    logs, empty in raw records."""
+
+    @property
+    def has_referer(self) -> bool:
+        return bool(self.referer)
+
+
+@dataclass(frozen=True, slots=True)
+class DhcpLease:
+    """A DHCP lease binding an IP address to a hostname for an interval."""
+
+    ip: str
+    hostname: str
+    start: float
+    end: float
+
+    def covers(self, timestamp: float) -> bool:
+        """Whether ``timestamp`` falls inside the lease interval.
+
+        The start is inclusive and the end exclusive so back-to-back
+        leases on the same address never both claim an instant.
+        """
+        return self.start <= timestamp < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class VpnSession:
+    """A VPN session binding a tunnel IP to a hostname for an interval."""
+
+    ip: str
+    hostname: str
+    start: float
+    end: float
+
+    def covers(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class Connection:
+    """Normalized connection event -- the unit the detectors consume.
+
+    Both DNS and proxy records reduce to this shape: *who* (a stable
+    host identifier) contacted *what* (a folded external domain) *when*,
+    plus the HTTP context fields when the source log provides them.
+    """
+
+    timestamp: float
+    host: str
+    domain: str
+    resolved_ip: str = ""
+    user_agent: str | None = None
+    """``None`` means the source log has no UA field (DNS logs);
+    an empty string means the field exists but was blank."""
+
+    referer: str | None = None
+    """Same convention as :attr:`user_agent`."""
+
+    status_code: int = 0
+
+    @property
+    def day(self) -> int:
+        """Day index (UTC) of the event, for daily batching."""
+        return int(self.timestamp // 86_400)

@@ -1,0 +1,77 @@
+"""Destination history: which external domains the enterprise has seen.
+
+The system bootstraps the history over one month of traffic, then
+updates it incrementally at the end of each operational day
+(Section III-A).  A domain is **new** on a day if it is absent from the
+history at the *start* of that day; the day's connections are folded in
+only when :meth:`DestinationHistory.commit_day` is called, so ordering
+within a day cannot leak future knowledge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class DestinationHistory:
+    """Incrementally maintained set of previously seen (folded) domains.
+
+    The history also remembers the first day each domain was observed,
+    which supports retrospective analyses and the Figure 2 funnel.
+    """
+
+    def __init__(self) -> None:
+        self._first_seen: dict[str, int] = {}
+        self._pending: dict[str, int] = {}
+        self._committed_days: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._first_seen)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self._first_seen
+
+    def is_new(self, domain: str) -> bool:
+        """Whether ``domain`` is absent from the committed history."""
+        return domain not in self._first_seen
+
+    def first_seen(self, domain: str) -> int | None:
+        """Day index the domain was first committed, or ``None``."""
+        return self._first_seen.get(domain)
+
+    def stage(self, domain: str, day: int) -> None:
+        """Record a same-day observation without committing it.
+
+        Staged domains still count as *new* until :meth:`commit_day`
+        runs, matching the paper's end-of-day history update.
+        """
+        if domain not in self._first_seen:
+            existing = self._pending.get(domain)
+            if existing is None or day < existing:
+                self._pending[domain] = day
+
+    def commit_day(self, day: int) -> int:
+        """Fold all staged observations into the history.
+
+        Returns the number of domains newly added.  The ``day`` argument
+        is recorded for bookkeeping; staged entries keep their own first
+        observation day.
+        """
+        added = 0
+        for domain, first_day in self._pending.items():
+            if domain not in self._first_seen:
+                self._first_seen[domain] = first_day
+                added += 1
+        self._pending.clear()
+        self._committed_days.add(day)
+        return added
+
+    def bootstrap(self, domains: Iterable[str], day: int = -1) -> None:
+        """Seed the history from the training month in one shot."""
+        for domain in domains:
+            self._first_seen.setdefault(domain, day)
+        self._committed_days.add(day)
+
+    @property
+    def committed_days(self) -> frozenset[int]:
+        return frozenset(self._committed_days)

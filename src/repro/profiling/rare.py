@@ -1,0 +1,117 @@
+"""Daily rare-destination extraction (Section III-A).
+
+A destination is **rare** on a day when it is both
+
+* *new* -- never contacted by any internal host before that day, and
+* *unpopular* -- contacted by fewer than ``unpopular_max_hosts``
+  distinct hosts during the day (default 10, per SOC guidance).
+
+:class:`DailyTraffic` aggregates one day of normalized connections into
+the per-domain / per-host indexes everything downstream consumes:
+the rare set, the ``dom_host`` and ``host_rdom`` maps of Algorithm 1,
+and per-(host, domain) timestamp series for the timing detector.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from ..logs.records import Connection
+from .history import DestinationHistory
+
+
+class DailyTraffic:
+    """One day of aggregated connection state.
+
+    Attributes populated by :meth:`ingest`:
+
+    ``hosts_by_domain``
+        domain -> set of hosts contacting it (``dom_host`` in Alg. 1).
+    ``timestamps``
+        (host, domain) -> sorted list of connection times.
+    ``no_referer_hosts`` / ``rare_ua_hosts``
+        domain -> hosts that contacted it with no referer / with a rare
+        or missing UA (inputs to the NoRef and RareUA features).
+    ``resolved_ips``
+        domain -> set of IP addresses it resolved to during the day.
+    """
+
+    def __init__(self, day: int) -> None:
+        self.day = day
+        self.hosts_by_domain: dict[str, set[str]] = defaultdict(set)
+        self.domains_by_host: dict[str, set[str]] = defaultdict(set)
+        self.timestamps: dict[tuple[str, str], list[float]] = defaultdict(list)
+        self.no_referer_hosts: dict[str, set[str]] = defaultdict(set)
+        self.rare_ua_hosts: dict[str, set[str]] = defaultdict(set)
+        self.resolved_ips: dict[str, set[str]] = defaultdict(set)
+        self._sorted = True
+
+    def ingest(
+        self,
+        connections: Iterable[Connection],
+        *,
+        ua_is_rare=None,
+    ) -> None:
+        """Aggregate connections into the day's indexes.
+
+        ``ua_is_rare`` is an optional predicate (typically
+        ``UserAgentHistory.is_rare``) evaluated against each
+        connection's UA; without it the UA features stay empty, which
+        is the DNS-dataset situation.
+        """
+        for conn in connections:
+            self.hosts_by_domain[conn.domain].add(conn.host)
+            self.domains_by_host[conn.host].add(conn.domain)
+            self.timestamps[(conn.host, conn.domain)].append(conn.timestamp)
+            if conn.resolved_ip:
+                self.resolved_ips[conn.domain].add(conn.resolved_ip)
+            if conn.referer is not None and not conn.referer:
+                self.no_referer_hosts[conn.domain].add(conn.host)
+            if ua_is_rare is not None and conn.user_agent is not None:
+                if ua_is_rare(conn.user_agent):
+                    self.rare_ua_hosts[conn.domain].add(conn.host)
+        self._sorted = False
+
+    def finalize(self) -> None:
+        """Sort timestamp series; call once after all ingestion."""
+        if not self._sorted:
+            for series in self.timestamps.values():
+                series.sort()
+            self._sorted = True
+
+    def domain_popularity(self, domain: str) -> int:
+        return len(self.hosts_by_domain.get(domain, ()))
+
+    def connection_times(self, host: str, domain: str) -> list[float]:
+        self.finalize()
+        return self.timestamps.get((host, domain), [])
+
+    def first_contact(self, host: str, domain: str) -> float | None:
+        times = self.connection_times(host, domain)
+        return times[0] if times else None
+
+
+def extract_rare_domains(
+    traffic: DailyTraffic,
+    history: DestinationHistory,
+    *,
+    unpopular_max_hosts: int = 10,
+) -> set[str]:
+    """Return the day's rare destinations (new AND unpopular)."""
+    rare: set[str] = set()
+    for domain, hosts in traffic.hosts_by_domain.items():
+        if len(hosts) < unpopular_max_hosts and history.is_new(domain):
+            rare.add(domain)
+    return rare
+
+
+def rare_domains_by_host(
+    traffic: DailyTraffic, rare: set[str]
+) -> dict[str, set[str]]:
+    """``host_rdom`` map of Algorithm 1: host -> rare domains visited."""
+    by_host: dict[str, set[str]] = defaultdict(set)
+    for domain in rare:
+        for host in traffic.hosts_by_domain.get(domain, ()):
+            by_host[host].add(domain)
+    return dict(by_host)

@@ -1,0 +1,59 @@
+"""User-agent string profiling (Section IV-C, "Web connection features").
+
+Enterprise software configurations are homogeneous, so most UA strings
+are shared by a large population of hosts; a UA used by only a handful
+of hosts suggests unpopular -- potentially malicious -- software.  The
+profile counts, for every UA string, the set of hosts ever seen using
+it.  It is built over the one-month training period and updated daily
+afterwards, exactly like the destination history.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class UserAgentHistory:
+    """Tracks which hosts have used which user-agent strings."""
+
+    def __init__(self, rare_max_hosts: int = 10) -> None:
+        if rare_max_hosts < 1:
+            raise ValueError("rare_max_hosts must be positive")
+        self.rare_max_hosts = rare_max_hosts
+        self._hosts_by_ua: dict[str, set[str]] = {}
+        self._pending: dict[str, set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._hosts_by_ua)
+
+    def popularity(self, user_agent: str) -> int:
+        """Number of distinct hosts seen using ``user_agent``."""
+        return len(self._hosts_by_ua.get(user_agent, ()))
+
+    def is_rare(self, user_agent: str | None) -> bool:
+        """Whether a UA is rare (or missing entirely).
+
+        The paper's ``RareUA`` feature counts hosts that use *no* UA or
+        a rare UA, so an absent/empty UA is treated as rare.
+        """
+        if not user_agent:
+            return True
+        return self.popularity(user_agent) < self.rare_max_hosts
+
+    def stage(self, user_agent: str | None, host: str) -> None:
+        """Record a same-day (UA, host) observation without committing."""
+        if not user_agent:
+            return
+        self._pending.setdefault(user_agent, set()).add(host)
+
+    def commit_day(self) -> None:
+        """Fold staged observations into the profile (end of day)."""
+        for user_agent, hosts in self._pending.items():
+            self._hosts_by_ua.setdefault(user_agent, set()).update(hosts)
+        self._pending.clear()
+
+    def bootstrap(self, observations: Iterable[tuple[str, str]]) -> None:
+        """Seed from the training month: iterable of (user_agent, host)."""
+        for user_agent, host in observations:
+            if user_agent:
+                self._hosts_by_ua.setdefault(user_agent, set()).add(host)

@@ -1,0 +1,212 @@
+"""Persistence of trained detector state (Figure 1's daily cycle).
+
+The paper's system trains once per enterprise and then runs daily,
+carrying two kinds of state across days: the profiles (destination and
+user-agent histories) and the regression models with their thresholds.
+A real deployment restarts; this module snapshots that state to a JSON
+document and restores it, so an :class:`~repro.core.EnterpriseDetector`
+survives process boundaries.
+
+The format is versioned, self-describing JSON -- inspectable by the SOC
+and diffable across days.  WHOIS is an external service, not state, so
+a restored detector must be re-attached to its registry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .config import (
+    BeliefPropagationConfig,
+    HistogramConfig,
+    RarityConfig,
+    SystemConfig,
+)
+from .core.pipeline import EnterpriseDetector
+from .core.scoring import RegressionCCScorer, RegressionSimilarityScorer
+from .features.regression import Coefficient, LinearModel
+from .intel.whois_db import WhoisDatabase
+from .profiling.history import DestinationHistory
+from .profiling.ua import UserAgentHistory
+
+STATE_VERSION = 1
+
+
+class StateError(RuntimeError):
+    """Raised on malformed or incompatible state documents."""
+
+
+# ---------------------------------------------------------------------------
+# Component encoders / decoders
+# ---------------------------------------------------------------------------
+
+def encode_history(history: DestinationHistory) -> dict[str, Any]:
+    return {
+        "first_seen": dict(history._first_seen),
+        "committed_days": sorted(history.committed_days),
+    }
+
+
+def decode_history(payload: dict[str, Any]) -> DestinationHistory:
+    history = DestinationHistory()
+    history._first_seen.update(
+        {str(domain): int(day) for domain, day in payload["first_seen"].items()}
+    )
+    history._committed_days.update(int(d) for d in payload["committed_days"])
+    return history
+
+
+def encode_ua_history(history: UserAgentHistory) -> dict[str, Any]:
+    return {
+        "rare_max_hosts": history.rare_max_hosts,
+        "hosts_by_ua": {
+            ua: sorted(hosts) for ua, hosts in history._hosts_by_ua.items()
+        },
+    }
+
+
+def decode_ua_history(payload: dict[str, Any]) -> UserAgentHistory:
+    history = UserAgentHistory(rare_max_hosts=int(payload["rare_max_hosts"]))
+    for ua, hosts in payload["hosts_by_ua"].items():
+        history._hosts_by_ua[ua] = set(hosts)
+    return history
+
+
+def encode_model(model: LinearModel) -> dict[str, Any]:
+    return {
+        "feature_names": list(model.feature_names),
+        "intercept": model.intercept,
+        "weights": [float(w) for w in model.weights],
+        "r_squared": model.r_squared,
+        "n_samples": model.n_samples,
+        "coefficients": [
+            {
+                "name": c.name,
+                "estimate": c.estimate,
+                "std_error": c.std_error if np.isfinite(c.std_error) else None,
+                "t_statistic": c.t_statistic,
+                "p_value": c.p_value,
+            }
+            for c in model.coefficients
+        ],
+    }
+
+
+def decode_model(payload: dict[str, Any]) -> LinearModel:
+    coefficients = tuple(
+        Coefficient(
+            name=c["name"],
+            estimate=float(c["estimate"]),
+            std_error=(
+                float(c["std_error"]) if c["std_error"] is not None
+                else float("inf")
+            ),
+            t_statistic=float(c["t_statistic"]),
+            p_value=float(c["p_value"]),
+        )
+        for c in payload["coefficients"]
+    )
+    return LinearModel(
+        feature_names=tuple(payload["feature_names"]),
+        intercept=float(payload["intercept"]),
+        weights=np.asarray(payload["weights"], dtype=float),
+        coefficients=coefficients,
+        r_squared=float(payload["r_squared"]),
+        n_samples=int(payload["n_samples"]),
+    )
+
+
+def encode_config(config: SystemConfig) -> dict[str, Any]:
+    return {
+        "histogram": vars(config.histogram).copy(),
+        "rarity": vars(config.rarity).copy(),
+        "belief_propagation": vars(config.belief_propagation).copy(),
+        "training_days": config.training_days,
+        "regression_ridge": config.regression_ridge,
+    }
+
+
+def decode_config(payload: dict[str, Any]) -> SystemConfig:
+    return SystemConfig(
+        histogram=HistogramConfig(**payload["histogram"]),
+        rarity=RarityConfig(**payload["rarity"]),
+        belief_propagation=BeliefPropagationConfig(**payload["belief_propagation"]),
+        training_days=int(payload["training_days"]),
+        regression_ridge=float(payload["regression_ridge"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Detector-level snapshot
+# ---------------------------------------------------------------------------
+
+def detector_state(detector: EnterpriseDetector) -> dict[str, Any]:
+    """Full JSON-serializable snapshot of a trained detector."""
+    return {
+        "version": STATE_VERSION,
+        "config": encode_config(detector.config),
+        "history": encode_history(detector.history),
+        "ua_history": encode_ua_history(detector.ua_history),
+        "cc_model": (
+            encode_model(detector.cc_scorer.model)
+            if detector.cc_scorer is not None else None
+        ),
+        "cc_threshold": (
+            detector.cc_scorer.threshold
+            if detector.cc_scorer is not None else None
+        ),
+        "similarity_model": (
+            encode_model(detector.similarity_scorer.model)
+            if detector.similarity_scorer is not None else None
+        ),
+    }
+
+
+def restore_detector(
+    payload: dict[str, Any], whois: WhoisDatabase | None = None
+) -> EnterpriseDetector:
+    """Rebuild a detector from :func:`detector_state` output.
+
+    ``whois`` re-attaches the external registry (not part of the
+    snapshot); omit it for DNS-style deployments without WHOIS.
+    """
+    version = payload.get("version")
+    if version != STATE_VERSION:
+        raise StateError(f"unsupported state version {version!r}")
+    detector = EnterpriseDetector(decode_config(payload["config"]), whois=whois)
+    detector.history = decode_history(payload["history"])
+    detector.ua_history = decode_ua_history(payload["ua_history"])
+    # The extractor closes over the UA history; rebuild it against the
+    # restored instance.
+    detector.extractor.ua_history = detector.ua_history
+    if payload["cc_model"] is not None:
+        detector.cc_scorer = RegressionCCScorer(
+            decode_model(payload["cc_model"]),
+            detector.extractor,
+            threshold=float(payload["cc_threshold"]),
+        )
+    if payload["similarity_model"] is not None:
+        detector.similarity_scorer = RegressionSimilarityScorer(
+            decode_model(payload["similarity_model"]), detector.extractor
+        )
+    return detector
+
+
+def save_detector(detector: EnterpriseDetector, path: str | Path) -> None:
+    """Write a trained detector's state to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(detector_state(detector), indent=1))
+
+
+def load_detector(
+    path: str | Path, whois: WhoisDatabase | None = None
+) -> EnterpriseDetector:
+    """Restore a detector previously saved with :func:`save_detector`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise StateError(f"corrupt state file {path}: {exc}") from exc
+    return restore_detector(payload, whois=whois)

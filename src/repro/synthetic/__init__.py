@@ -1,0 +1,44 @@
+"""Synthetic world: enterprises, benign workloads, attack campaigns."""
+
+from .attacks import Campaign, CampaignFactory, CampaignSpec
+from .benign import BenignConfig, BenignWorkload, Visit
+from .dga import DomainNameFactory
+from .entities import POPULAR_USER_AGENTS, EnterpriseModel, Host, build_enterprise
+from .enterprise import (
+    EnterpriseDataset,
+    EnterpriseDatasetConfig,
+    generate_enterprise_dataset,
+)
+from .ipspace import IpAllocator
+from .lanl import (
+    CASE_DATES,
+    TRAINING_DATES,
+    LanlCampaignTruth,
+    LanlConfig,
+    LanlDataset,
+    generate_lanl_dataset,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignFactory",
+    "CampaignSpec",
+    "BenignConfig",
+    "BenignWorkload",
+    "Visit",
+    "DomainNameFactory",
+    "POPULAR_USER_AGENTS",
+    "EnterpriseModel",
+    "Host",
+    "build_enterprise",
+    "EnterpriseDataset",
+    "EnterpriseDatasetConfig",
+    "generate_enterprise_dataset",
+    "IpAllocator",
+    "CASE_DATES",
+    "TRAINING_DATES",
+    "LanlCampaignTruth",
+    "LanlConfig",
+    "LanlDataset",
+    "generate_lanl_dataset",
+]

@@ -1,0 +1,225 @@
+"""Attack-campaign simulation (Section II-A's infection pattern).
+
+Each campaign reproduces the early-stage pattern the paper detects:
+
+* **delivery** -- the victim host visits a short chain of attacker
+  domains within minutes (redirection through the malicious
+  infrastructure), with no referer and sometimes a rare UA;
+* **foothold / C&C** -- a backdoor beacons to the C&C domain at a
+  regular period with bounded jitter for the rest of the day (and on
+  subsequent days for multi-day campaigns);
+* **infrastructure locality** -- campaign domains are young, short
+  registrations co-located in the attacker's /24 (some only /16), and
+  DGA campaigns may use domains *not yet registered* at detection time
+  (Section VI-D).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..intel.whois_db import WhoisDatabase
+from .benign import Visit
+from .dga import DomainNameFactory
+from .entities import Host
+from .ipspace import IpAllocator
+
+SECONDS_PER_DAY = 86_400.0
+YEAR = 365 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Shape parameters for one campaign."""
+
+    n_hosts: int = 2
+    n_delivery: int = 2
+    n_cc: int = 1
+    beacon_period: float = 600.0
+    beacon_jitter: float = 3.0
+    dga_style: str | None = None
+    """``None``, ``"short_info"`` or ``"hex_info"`` -- selects the DGA
+    naming family; DGA campaigns add a cluster of sibling domains."""
+
+    dga_cluster: int = 0
+    duration_days: int = 1
+    unregistered_rate: float = 0.0
+    """Fraction of domains with no WHOIS record at observation time."""
+
+
+@dataclass
+class Campaign:
+    """One materialized campaign with its ground truth."""
+
+    campaign_id: str
+    start_day: int
+    spec: CampaignSpec
+    hosts: list[Host]
+    delivery_domains: list[str]
+    cc_domains: list[str]
+    dga_domains: list[str] = field(default_factory=list)
+    domain_ips: dict[str, str] = field(default_factory=dict)
+    rare_ua: str = ""
+
+    @property
+    def domains(self) -> list[str]:
+        return self.delivery_domains + self.cc_domains + self.dga_domains
+
+    @property
+    def host_names(self) -> list[str]:
+        return [host.name for host in self.hosts]
+
+    @property
+    def active_days(self) -> range:
+        return range(self.start_day, self.start_day + self.spec.duration_days)
+
+
+class CampaignFactory:
+    """Mints campaigns with registered infrastructure and ground truth."""
+
+    def __init__(
+        self,
+        names: DomainNameFactory,
+        ips: IpAllocator,
+        whois: WhoisDatabase,
+        rng: random.Random,
+        *,
+        epoch: float = 0.0,
+        name_style: str = "enterprise",
+    ) -> None:
+        self.names = names
+        self.ips = ips
+        self.whois = whois
+        self.rng = rng
+        self.epoch = epoch
+        self.name_style = name_style
+        self._count = 0
+        self._day_cache: dict[tuple[str, int], list[Visit]] = {}
+
+    def _mint_name(self, style: str | None) -> str:
+        if style == "short_info":
+            return self.names.dga_short_info()
+        if style == "hex_info":
+            return self.names.dga_hex_info()
+        if self.name_style == "lanl":
+            return self.names.lanl_anonymized()
+        return self.rng.choice(
+            (self.names.attacker_ru, self.names.attacker_org)
+        )()
+
+    def _register_attacker(self, domain: str, start_day: int) -> None:
+        """Young, short registration -- the attacker WHOIS profile."""
+        observed = self.epoch + start_day * SECONDS_PER_DAY
+        registered = observed - self.rng.uniform(1, 30) * SECONDS_PER_DAY
+        expires = registered + self.rng.uniform(0.9, 1.1) * YEAR
+        self.whois.register(domain, registered, expires)
+
+    def create(
+        self,
+        start_day: int,
+        candidate_hosts: list[Host],
+        spec: CampaignSpec,
+    ) -> Campaign:
+        """Materialize one campaign starting on ``start_day``."""
+        self._count += 1
+        hosts = self.rng.sample(
+            candidate_hosts, min(spec.n_hosts, len(candidate_hosts))
+        )
+        block = self.ips.attacker_block()
+        sibling = self.ips.sibling_block_16(block)
+
+        def mint(style: str | None) -> str:
+            domain = self._mint_name(style)
+            if self.rng.random() >= spec.unregistered_rate:
+                self._register_attacker(domain, start_day)
+            # Most infrastructure shares the /24; some only the /16.
+            chosen = block if self.rng.random() < 0.7 else sibling
+            ip = self.ips.ip_in_block(chosen)
+            domain_ips[domain] = ip
+            return domain
+
+        domain_ips: dict[str, str] = {}
+        delivery = [mint(spec.dga_style) for _ in range(spec.n_delivery)]
+        cc = [mint(spec.dga_style) for _ in range(spec.n_cc)]
+        dga = [mint(spec.dga_style) for _ in range(spec.dga_cluster)]
+
+        rare_ua = ""
+        if self.name_style == "enterprise" and self.rng.random() < 0.7:
+            rare_ua = f"Backdoor/{self._count}.{self.rng.randint(0, 99)}"
+
+        return Campaign(
+            campaign_id=f"campaign{self._count:03d}",
+            start_day=start_day,
+            spec=spec,
+            hosts=hosts,
+            delivery_domains=delivery,
+            cc_domains=cc,
+            dga_domains=dga,
+            domain_ips=domain_ips,
+            rare_ua=rare_ua,
+        )
+
+    # ------------------------------------------------------------------
+
+    def day_visits(self, campaign: Campaign, day: int) -> list[Visit]:
+        """Traffic the campaign generates on ``day`` (empty if inactive).
+
+        Memoized per (campaign, day): the factory shares one randomness
+        stream, so regeneration would shift every beacon -- repeated
+        reads must return the same realized day.
+        """
+        if day not in campaign.active_days:
+            return []
+        cache_key = (campaign.campaign_id, day)
+        cached = self._day_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        base = self.epoch + day * SECONDS_PER_DAY
+        rng = self.rng
+        visits: list[Visit] = []
+        infection_time = base + rng.uniform(8 * 3600.0, 13 * 3600.0)
+
+        for index, host in enumerate(campaign.hosts):
+            ua = campaign.rare_ua or (
+                host.user_agents[0] if host.user_agents else ""
+            )
+            # Hosts in the same campaign get compromised within a short
+            # window of each other (phishing wave).
+            host_infection = infection_time + index * rng.uniform(10.0, 300.0)
+
+            if day == campaign.start_day:
+                # Delivery chain: domains visited seconds-to-minutes apart.
+                t = host_infection
+                for domain in campaign.delivery_domains:
+                    visits.append(
+                        Visit(t, host.name, domain,
+                              campaign.domain_ips[domain], ua, "")
+                    )
+                    t += rng.uniform(5.0, 120.0)
+                # DGA cluster probing (e.g., Ramdo's .org set) right after.
+                for domain in campaign.dga_domains:
+                    visits.append(
+                        Visit(t, host.name, domain,
+                              campaign.domain_ips[domain], ua, "")
+                    )
+                    t += rng.uniform(2.0, 30.0)
+                beacon_start = t + rng.uniform(10.0, 120.0)
+            else:
+                beacon_start = base + rng.uniform(0.0, campaign.spec.beacon_period)
+
+            # Periodic C&C beaconing until end of day.
+            for domain in campaign.cc_domains:
+                t = beacon_start
+                end = base + SECONDS_PER_DAY - 60.0
+                while t < end:
+                    visits.append(
+                        Visit(t, host.name, domain,
+                              campaign.domain_ips[domain], ua, "")
+                    )
+                    t += campaign.spec.beacon_period + rng.uniform(
+                        -campaign.spec.beacon_jitter, campaign.spec.beacon_jitter
+                    )
+        visits.sort(key=lambda v: v.timestamp)
+        self._day_cache[cache_key] = visits
+        return visits

@@ -1,0 +1,276 @@
+"""Benign traffic generation.
+
+Benign activity has to exercise every false-positive pressure point the
+paper discusses, otherwise the evaluation is trivially easy:
+
+* a **popular core** of destinations visited by much of the fleet every
+  day (never rare after bootstrap);
+* a **daily churn** of genuinely new, unpopular benign destinations --
+  the enterprise of the study saw ~50 000 rare destinations per day,
+  and these are what the detectors must sift;
+* **popular automated services** (update checks, telemetry) with
+  perfectly regular timing but high popularity, so rarity filtering is
+  what saves the timing detector from them ("thousands of legitimate
+  requests have regular timing patterns", Section III-D);
+* **rare benign automated services** (ad-network beacons, toolbars,
+  gaming trackers) -- rare *and* periodic, sometimes recently
+  registered: the hard negatives behind the paper's 63
+  legitimate-but-flagged domains.
+
+Visits are emitted in a source-agnostic shape; the LANL and enterprise
+dataset builders map them to DNS or proxy records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..intel.whois_db import WhoisDatabase
+from .dga import DomainNameFactory
+from .entities import EnterpriseModel, Host
+from .ipspace import IpAllocator
+
+SECONDS_PER_DAY = 86_400.0
+WORKDAY_START = 7 * 3600.0
+WORKDAY_END = 19 * 3600.0
+YEAR = 365 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True, slots=True)
+class Visit:
+    """One host-to-domain contact, format-agnostic."""
+
+    timestamp: float
+    host: str
+    domain: str
+    resolved_ip: str
+    user_agent: str
+    referer: str
+    """Empty string means the request carried no referer."""
+
+
+@dataclass(frozen=True)
+class BenignConfig:
+    """Knobs for the benign workload."""
+
+    popular_domains: int = 150
+    browsing_visits_per_host: int = 18
+    churn_domains_per_day: int = 30
+    churn_visitors_max: int = 3
+    viral_domains_per_day: int = 1
+    """New-but-popular domains (a product launch everyone opens): they
+    are *new* yet not *rare*, so the Figure 2 funnel separates the two
+    profiling steps."""
+    popular_auto_services: int = 8
+    rare_auto_services_per_day: int = 4
+    rare_auto_recent_registration_rate: float = 0.3
+    """Fraction of rare benign automated services registered recently
+    (the policy-violation toolbars and trackers of Section VI-C)."""
+
+
+@dataclass
+class _Service:
+    domain: str
+    ip: str
+    period: float
+    hosts: list[Host] = field(default_factory=list)
+
+
+class BenignWorkload:
+    """Generates one enterprise's benign traffic, day by day."""
+
+    def __init__(
+        self,
+        model: EnterpriseModel,
+        names: DomainNameFactory,
+        ips: IpAllocator,
+        whois: WhoisDatabase,
+        rng: random.Random,
+        config: BenignConfig | None = None,
+        *,
+        epoch: float = 0.0,
+    ) -> None:
+        self.model = model
+        self.names = names
+        self.ips = ips
+        self.whois = whois
+        self.rng = rng
+        self.config = config or BenignConfig()
+        self.epoch = epoch
+        self._popular: list[tuple[str, str]] = []
+        self._popular_services: list[_Service] = []
+        self._day_cache: dict[int, list[Visit]] = {}
+        self._build_world()
+
+    def _register_old(self, domain: str) -> None:
+        """Old registration with long validity -- the benign profile."""
+        registered = self.epoch - self.rng.uniform(1.5, 10.0) * YEAR
+        expires = self.epoch + self.rng.uniform(1.0, 5.0) * YEAR
+        self.whois.register(domain, registered, expires)
+
+    def _register_recent(self, domain: str) -> None:
+        """Recent, shortish registration -- the hard-negative profile."""
+        registered = self.epoch - self.rng.uniform(5, 90) * SECONDS_PER_DAY
+        expires = registered + self.rng.uniform(1.0, 2.0) * YEAR
+        self.whois.register(domain, registered, expires)
+
+    def _build_world(self) -> None:
+        for _ in range(self.config.popular_domains):
+            domain = self.names.benign()
+            self._register_old(domain)
+            self._popular.append((domain, self.ips.benign_ip()))
+        for _ in range(self.config.popular_auto_services):
+            domain = self.names.benign_service()
+            self._register_old(domain)
+            service = _Service(
+                domain=domain,
+                ip=self.ips.benign_ip(),
+                period=self.rng.choice((300.0, 600.0, 900.0, 1800.0, 3600.0)),
+            )
+            # Popular services run on most of the fleet, which keeps
+            # them above the rarity threshold.
+            count = max(len(self.model.hosts) // 2, 1)
+            service.hosts = self.rng.sample(self.model.hosts, count)
+            self._popular_services.append(service)
+
+    # ------------------------------------------------------------------
+
+    def _day_base(self, day: int) -> float:
+        return self.epoch + day * SECONDS_PER_DAY
+
+    def _browsing(self, day: int, visits: list[Visit]) -> None:
+        """Sessioned browsing over the popular core, referer-rich."""
+        base = self._day_base(day)
+        for host in self.model.hosts:
+            ua = self.rng.choice(host.user_agents)
+            t = base + self.rng.uniform(WORKDAY_START, WORKDAY_START + 3600)
+            previous_domain = ""
+            for _ in range(self.config.browsing_visits_per_host):
+                domain, ip = self.rng.choice(self._popular)
+                referer = (
+                    f"http://{previous_domain}/" if previous_domain and
+                    self.rng.random() < 0.8 else ""
+                )
+                visits.append(
+                    Visit(t, host.name, domain, ip, ua, referer)
+                )
+                previous_domain = domain
+                t += self.rng.expovariate(1.0 / 120.0)
+                if t > base + WORKDAY_END:
+                    break
+
+    def _churn(self, day: int, visits: list[Visit]) -> None:
+        """New benign destinations: today's rare-but-legit long tail."""
+        base = self._day_base(day)
+        for _ in range(self.config.churn_domains_per_day):
+            domain = self.names.benign()
+            self._register_old(domain)
+            ip = self.ips.benign_ip()
+            count = self.rng.randint(1, self.config.churn_visitors_max)
+            for host in self.rng.sample(self.model.hosts, min(count, len(self.model.hosts))):
+                t = base + self.rng.uniform(WORKDAY_START, WORKDAY_END)
+                ua = self.rng.choice(host.user_agents)
+                referer = f"http://{self.rng.choice(self._popular)[0]}/" \
+                    if self.rng.random() < 0.7 else ""
+                visits.append(Visit(t, host.name, domain, ip, ua, referer))
+                # A curious user clicks around the new site a few times.
+                for _ in range(self.rng.randint(0, 3)):
+                    t += self.rng.expovariate(1.0 / 60.0)
+                    visits.append(
+                        Visit(t, host.name, domain, ip, ua, f"http://{domain}/")
+                    )
+        # Viral domains: new today but visited by enough hosts to fail
+        # the unpopularity test (new without being rare).
+        for _ in range(self.config.viral_domains_per_day):
+            domain = self.names.benign()
+            self._register_old(domain)
+            ip = self.ips.benign_ip()
+            count = min(max(12, len(self.model.hosts) // 4), len(self.model.hosts))
+            for host in self.rng.sample(self.model.hosts, count):
+                t = base + self.rng.uniform(WORKDAY_START, WORKDAY_END)
+                visits.append(
+                    Visit(t, host.name, domain, ip,
+                          self.rng.choice(host.user_agents),
+                          f"http://{self.rng.choice(self._popular)[0]}/")
+                )
+
+    @staticmethod
+    def _beacons(
+        start: float,
+        end: float,
+        period: float,
+        rng: random.Random,
+        jitter: float,
+    ) -> list[float]:
+        times = []
+        t = start
+        while t < end:
+            times.append(t)
+            t += period + rng.uniform(-jitter, jitter)
+        return times
+
+    def _popular_automation(self, day: int, visits: list[Visit]) -> None:
+        base = self._day_base(day)
+        for service in self._popular_services:
+            for host in service.hosts:
+                start = base + self.rng.uniform(0, service.period)
+                # Sample a few hours of the day, not all 24h, to bound volume.
+                end = start + self.rng.uniform(2, 6) * 3600.0
+                ua = host.primary_ua()
+                for t in self._beacons(start, end, service.period, self.rng, 1.0):
+                    visits.append(
+                        Visit(t, host.name, service.domain, service.ip, ua, "")
+                    )
+
+    def _rare_automation(self, day: int, visits: list[Visit]) -> None:
+        """Rare periodic services: the C&C detector's hard negatives."""
+        base = self._day_base(day)
+        for _ in range(self.config.rare_auto_services_per_day):
+            domain = self.names.benign_service()
+            if self.rng.random() < self.config.rare_auto_recent_registration_rate:
+                self._register_recent(domain)
+            else:
+                self._register_old(domain)
+            ip = self.ips.benign_ip()
+            period = self.rng.choice((120.0, 300.0, 600.0, 900.0))
+            host = self.rng.choice(self.model.hosts)
+            start = base + self.rng.uniform(WORKDAY_START, WORKDAY_START + 4 * 3600)
+            end = start + self.rng.uniform(3, 8) * 3600.0
+            # Browser-embedded trackers keep a referer; standalone
+            # tools do not -- mix both so NoRef is informative, not
+            # a trivial separator.
+            referer = f"http://{self.rng.choice(self._popular)[0]}/" \
+                if self.rng.random() < 0.6 else ""
+            # Occasionally the periodic tool is itself unpopular
+            # software with a rare UA -- the hardest negatives.
+            if self.model.rare_user_agents and self.rng.random() < 0.2:
+                ua = self.rng.choice(self.model.rare_user_agents)
+            else:
+                ua = self.rng.choice(host.user_agents)
+            for t in self._beacons(start, end, period, self.rng, 2.0):
+                visits.append(Visit(t, host.name, domain, ip, ua, referer))
+
+    def day_visits(self, day: int) -> list[Visit]:
+        """All benign visits for one day, time-sorted.
+
+        Memoized per day: the generator draws from one shared stream of
+        randomness (names must be globally unique, WHOIS registered
+        once), so regeneration would produce a *different* day.  The
+        cache makes repeated reads of the same day idempotent.
+        """
+        cached = self._day_cache.get(day)
+        if cached is not None:
+            return cached
+        visits: list[Visit] = []
+        self._browsing(day, visits)
+        self._churn(day, visits)
+        self._popular_automation(day, visits)
+        self._rare_automation(day, visits)
+        visits.sort(key=lambda v: v.timestamp)
+        self._day_cache[day] = visits
+        return visits
+
+    @property
+    def popular_domains(self) -> list[str]:
+        return [domain for domain, _ in self._popular]

@@ -1,0 +1,132 @@
+"""Domain-name generators for the synthetic world.
+
+Produces the naming families observed in the paper's case studies:
+
+* pronounceable benign names ("parkside-media.com");
+* attacker throwaway names, including the ``.ru`` style from Figure 7
+  ("usteeptyshehoaboochu.ru") and the ``.org`` Ramdo style of Figure 8;
+* the two DGA clusters of Section VI: 4-5 character ``.info`` names
+  (``mgwg.info``) and 20-character hex ``.info`` names
+  (``f0371288e0a20a541328.info``);
+* anonymized LANL-style names (``rainbow-.c3``) where top-level labels
+  are stripped by anonymization.
+
+All generators draw from an injected ``random.Random`` so the world is
+a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+_WORDS = (
+    "park", "side", "media", "cloud", "shop", "news", "tech", "data",
+    "blue", "green", "fast", "smart", "prime", "metro", "global", "daily",
+    "river", "stone", "north", "pixel", "cargo", "solar", "atlas", "nova",
+    "orbit", "cedar", "maple", "swift", "quill", "ember", "haven", "crest",
+)
+_BENIGN_TLDS = ("com", "net", "org", "io", "co")
+_LANL_WORDS = (
+    "rainbow", "fluttershy", "pinkiepie", "applejack", "twilight", "rarity",
+    "spike", "celestia", "luna", "cadance", "shining", "discord", "zecora",
+    "trixie", "scootaloo", "sweetie", "bigmac", "granny", "braeburn", "gilda",
+)
+
+
+def _syllables(rng: random.Random, count: int) -> str:
+    return "".join(
+        rng.choice(_CONSONANTS) + rng.choice(_VOWELS) for _ in range(count)
+    )
+
+
+class DomainNameFactory:
+    """Seeded generator of unique domain names per naming family."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._issued: set[str] = set()
+
+    def _unique(self, make) -> str:
+        for _ in range(10_000):
+            name = make()
+            if name not in self._issued:
+                self._issued.add(name)
+                return name
+        raise RuntimeError("domain namespace exhausted")
+
+    def benign(self) -> str:
+        """Pronounceable two-word benign name."""
+        rng = self._rng
+
+        def make() -> str:
+            words = rng.sample(_WORDS, 2)
+            sep = rng.choice(("", "-", ""))
+            return f"{words[0]}{sep}{words[1]}.{rng.choice(_BENIGN_TLDS)}"
+
+        return self._unique(make)
+
+    def benign_service(self) -> str:
+        """Benign automated-service name (updaters, CDNs, trackers)."""
+        rng = self._rng
+
+        def make() -> str:
+            stem = rng.choice(("update", "sync", "cdn", "telemetry", "api", "feed"))
+            return f"{stem}-{_syllables(rng, 2)}.{rng.choice(_BENIGN_TLDS)}"
+
+        return self._unique(make)
+
+    def attacker_ru(self) -> str:
+        """Long pseudo-pronounceable ``.ru`` name (Figure 7 style)."""
+        return self._unique(lambda: f"{_syllables(self._rng, 8)}.ru")
+
+    def attacker_org(self) -> str:
+        """Ramdo-style 15-16 char random ``.org`` name (Figure 8 style)."""
+        rng = self._rng
+
+        def make() -> str:
+            length = rng.choice((15, 16))
+            return "".join(
+                rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(length)
+            ) + ".org"
+
+        return self._unique(make)
+
+    def dga_short_info(self) -> str:
+        """4-5 character ``.info`` DGA name (Section VI-C cluster)."""
+        rng = self._rng
+
+        def make() -> str:
+            length = rng.choice((4, 5))
+            return "".join(
+                rng.choice("abcdefghijklmnopqrstuvwxyz") for _ in range(length)
+            ) + ".info"
+
+        return self._unique(make)
+
+    def dga_hex_info(self) -> str:
+        """20 hex character ``.info`` DGA name (Section VI-D cluster)."""
+        rng = self._rng
+
+        def make() -> str:
+            return "".join(rng.choice("0123456789abcdef") for _ in range(20)) + ".info"
+
+        return self._unique(make)
+
+    def lanl_anonymized(self) -> str:
+        """LANL-style anonymized name, folded at the third level."""
+        rng = self._rng
+
+        def make() -> str:
+            stem = rng.choice(_LANL_WORDS)
+            suffix = _syllables(rng, 2)
+            return f"{stem}{suffix}.c{rng.randint(1, 4)}"
+
+        return self._unique(make)
+
+    def lanl_benign(self) -> str:
+        """Anonymized benign LANL name."""
+        return self._unique(
+            lambda: f"{_syllables(self._rng, 3)}.n{self._rng.randint(1, 9)}"
+        )

@@ -1,0 +1,85 @@
+"""IP address allocation for the synthetic enterprise world.
+
+Two properties of real address usage matter to the detectors and are
+modelled explicitly:
+
+* **attacker co-location** -- attackers host many malicious domains
+  inside a small number of /24 or /16 subnets (Section IV-D cites
+  Hao et al. and the APT1 report); :meth:`IpAllocator.attacker_block`
+  carves out a dedicated /24 so campaign domains share it;
+* **benign dispersion** -- legitimate domains scatter across unrelated
+  subnets, so benign /24 collisions are rare but not impossible (the
+  paper saw a popular service cause thousands of incidental pairs on
+  one day).
+
+Internal (RFC1918) allocation for hosts, servers, and DHCP/VPN pools
+also lives here.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class IpAllocator:
+    """Deterministic allocator over external and internal IPv4 space."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._used_external_blocks: set[tuple[int, int, int]] = set()
+        self._attacker_blocks: list[tuple[int, int, int]] = []
+
+    # -- external space ---------------------------------------------------
+
+    def _fresh_block(self) -> tuple[int, int, int]:
+        """A /24 block (first three octets) not handed out before."""
+        while True:
+            block = (
+                self._rng.randint(1, 223),
+                self._rng.randint(0, 255),
+                self._rng.randint(0, 255),
+            )
+            # Stay out of reserved ranges.
+            if block[0] in (10, 127, 172, 192):
+                continue
+            if block not in self._used_external_blocks:
+                self._used_external_blocks.add(block)
+                return block
+
+    def benign_ip(self) -> str:
+        """One scattered benign address (fresh /24 each call)."""
+        a, b, c = self._fresh_block()
+        return f"{a}.{b}.{c}.{self._rng.randint(1, 254)}"
+
+    def attacker_block(self) -> tuple[int, int, int]:
+        """Reserve a /24 for one campaign's infrastructure."""
+        block = self._fresh_block()
+        self._attacker_blocks.append(block)
+        return block
+
+    def ip_in_block(self, block: tuple[int, int, int]) -> str:
+        a, b, c = block
+        return f"{a}.{b}.{c}.{self._rng.randint(1, 254)}"
+
+    def sibling_block_16(self, block: tuple[int, int, int]) -> tuple[int, int, int]:
+        """A different /24 inside the same /16 (for IP16-only pairs)."""
+        a, b, c = block
+        while True:
+            sibling = (a, b, self._rng.randint(0, 255))
+            if sibling != block and sibling not in self._used_external_blocks:
+                self._used_external_blocks.add(sibling)
+                return sibling
+
+    # -- internal space ---------------------------------------------------
+
+    def internal_static_ip(self, index: int) -> str:
+        """Statically assigned internal address (servers, LANL hosts)."""
+        return f"10.{(index // 65536) % 256}.{(index // 256) % 256}.{index % 256}"
+
+    def dhcp_pool_ip(self, index: int) -> str:
+        """Address from the DHCP pool (reassigned across leases)."""
+        return f"172.16.{(index // 256) % 240}.{index % 256}"
+
+    def vpn_pool_ip(self, index: int) -> str:
+        """Address from the VPN tunnel pool."""
+        return f"192.168.{(index // 256) % 250}.{index % 256}"

@@ -1,0 +1,40 @@
+"""Timing analysis: dynamic histograms and automation detection."""
+
+from .baselines import (
+    AutocorrelationDetector,
+    FftDetector,
+    StaticBinDetector,
+    StdDevDetector,
+)
+from .detector import AutomationDetector, AutomationVerdict
+from .divergence import (
+    divergence_from_periodic,
+    jeffrey_divergence,
+    l1_distance,
+    periodic_reference,
+)
+from .histogram import (
+    Bin,
+    DynamicHistogram,
+    build_histogram,
+    histogram_from_timestamps,
+    intervals,
+)
+
+__all__ = [
+    "AutocorrelationDetector",
+    "FftDetector",
+    "StaticBinDetector",
+    "StdDevDetector",
+    "AutomationDetector",
+    "AutomationVerdict",
+    "divergence_from_periodic",
+    "jeffrey_divergence",
+    "l1_distance",
+    "periodic_reference",
+    "Bin",
+    "DynamicHistogram",
+    "build_histogram",
+    "histogram_from_timestamps",
+    "intervals",
+]

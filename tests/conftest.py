@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Dataset-generation and pipeline-training fixtures are session-scoped:
+the synthetic worlds are deterministic functions of their seeds, so
+sharing them across tests is safe and keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synthetic import (
+    EnterpriseDatasetConfig,
+    LanlConfig,
+    generate_enterprise_dataset,
+    generate_lanl_dataset,
+)
+
+#: Small but fully featured LANL world used across the suite.
+SMALL_LANL = LanlConfig(
+    seed=42,
+    n_hosts=60,
+    bootstrap_days=3,
+    popular_domains=40,
+    churn_domains_per_day=8,
+    browsing_visits_per_host=8,
+)
+
+#: Small enterprise world with enough campaigns to train both models.
+SMALL_ENTERPRISE = EnterpriseDatasetConfig(
+    seed=2014,
+    n_hosts=60,
+    bootstrap_days=9,
+    operation_days=7,
+    quiet_days=3,
+    popular_domains=60,
+    churn_domains_per_day=12,
+    n_campaigns=20,
+)
+
+
+@pytest.fixture(scope="session")
+def lanl_dataset():
+    return generate_lanl_dataset(SMALL_LANL)
+
+
+@pytest.fixture(scope="session")
+def enterprise_dataset():
+    return generate_enterprise_dataset(SMALL_ENTERPRISE)
+
+
+@pytest.fixture(scope="session")
+def enterprise_evaluation(enterprise_dataset):
+    from repro.eval import EnterpriseEvaluation
+
+    return EnterpriseEvaluation(enterprise_dataset)
+
+
+@pytest.fixture(scope="session")
+def lanl_report(lanl_dataset):
+    from repro.eval import LanlChallengeSolver
+
+    return LanlChallengeSolver(lanl_dataset).solve_all()

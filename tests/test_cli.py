@@ -1,0 +1,87 @@
+"""Tests for the repro-detect command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lanl_defaults(self):
+        args = build_parser().parse_args(["lanl"])
+        assert args.seed == 42
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestTimingCommand:
+    def test_beacon_detected(self, tmp_path, capsys):
+        series = tmp_path / "series.txt"
+        series.write_text("\n".join(str(600.0 * i) for i in range(8)))
+        code = main(["timing", str(series)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "automated:    YES" in out
+        assert "period:       600.0 s" in out
+
+    def test_browsing_not_detected(self, tmp_path, capsys):
+        series = tmp_path / "series.txt"
+        series.write_text("\n".join(str(t) for t in (0, 55, 300, 1234, 1500, 4000)))
+        code = main(["timing", str(series)])
+        assert code == 1
+        assert "automated:    no" in capsys.readouterr().out
+
+    def test_bad_input(self, tmp_path, capsys):
+        series = tmp_path / "series.txt"
+        series.write_text("not-a-number\n")
+        assert main(["timing", str(series)]) == 2
+
+    def test_custom_threshold(self, tmp_path):
+        series = tmp_path / "series.txt"
+        values, t = [], 0.0
+        for i in range(10):
+            values.append(t)
+            t += 600.0 + (40.0 if i % 2 else -40.0)
+        series.write_text("\n".join(map(str, values)))
+        strict = main(["timing", str(series), "--threshold", "0.0"])
+        loose = main(["timing", str(series), "--threshold", "1.0",
+                      "--bin-width", "100"])
+        assert strict == 1
+        assert loose == 0
+
+
+class TestGenerateCommand:
+    def test_writes_logs_and_truth(self, tmp_path, capsys):
+        out_dir = tmp_path / "logs"
+        code = main([
+            "generate", str(out_dir), "--hosts", "40", "--days", "2",
+            "--netflow",
+        ])
+        assert code == 0
+        assert (out_dir / "dns-march-01.log").exists()
+        assert (out_dir / "dns-march-02.log").exists()
+        assert (out_dir / "netflow-march-01.log").exists()
+        assert (out_dir / "ground_truth.txt").exists()
+
+    def test_generated_logs_parse_back(self, tmp_path):
+        from repro.logs import parse_dns_log
+
+        out_dir = tmp_path / "logs"
+        main(["generate", str(out_dir), "--hosts", "30", "--days", "1"])
+        with (out_dir / "dns-march-01.log").open() as handle:
+            records = list(parse_dns_log(handle))
+        assert len(records) > 100
+
+
+class TestLanlCommand:
+    def test_prints_table_and_rates(self, capsys):
+        code = main(["lanl", "--hosts", "50", "--bootstrap-days", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LANL challenge results" in out
+        assert "TDR=" in out

@@ -1,0 +1,85 @@
+"""Integration tests for the EnterpriseDetector pipeline."""
+
+import pytest
+
+from repro.core import EnterpriseDetector
+
+
+@pytest.fixture(scope="module")
+def trained(enterprise_dataset):
+    detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+    detector.train(
+        enterprise_dataset.day_batches(0, enterprise_dataset.config.bootstrap_days),
+        enterprise_dataset.build_virustotal(),
+    )
+    return detector
+
+
+class TestTraining:
+    def test_histories_populated(self, trained):
+        assert trained.report.history_size > 50
+        assert trained.report.ua_count > 5
+
+    def test_models_exist(self, trained):
+        assert trained.cc_scorer is not None
+        assert trained.similarity_scorer is not None
+
+    def test_profiled_all_days(self, trained, enterprise_dataset):
+        assert trained.report.profiled_days == enterprise_dataset.config.bootstrap_days
+
+
+class TestOperation:
+    def test_untrained_detector_refuses_operation(self, enterprise_dataset):
+        detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+        day, conns = enterprise_dataset.day_batches(0, 1)[0]
+        with pytest.raises(RuntimeError):
+            detector.process_day(day, conns)
+
+    def test_day_result_shape(self, trained, enterprise_dataset):
+        day = enterprise_dataset.config.bootstrap_days
+        conns = enterprise_dataset.day_connections(day)
+        result = trained.process_day(day, conns, update_profiles=False)
+        assert result.day == day
+        assert result.rare_domains
+        assert isinstance(result.all_detected_domains(), set)
+
+    def test_cc_detections_on_attack_day(self, trained, enterprise_dataset):
+        """On a day with active beaconing campaigns, at least one true
+        C&C domain must clear the threshold."""
+        truth_cc = {d for c in enterprise_dataset.campaigns for d in c.cc_domains}
+        found = set()
+        first = enterprise_dataset.config.bootstrap_days
+        for day in range(first, enterprise_dataset.config.total_days):
+            conns = enterprise_dataset.day_connections(day)
+            result = trained.process_day(day, conns, update_profiles=True)
+            found |= result.cc_domain_names
+        assert found & truth_cc
+
+    def test_soc_seeds_trigger_hints_mode(self, trained, enterprise_dataset):
+        ioc = enterprise_dataset.build_ioc_list()
+        ran_hints = False
+        first = enterprise_dataset.config.bootstrap_days
+        detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+        detector.train(
+            enterprise_dataset.day_batches(0, first),
+            enterprise_dataset.build_virustotal(),
+        )
+        for day in range(first, enterprise_dataset.config.total_days):
+            conns = enterprise_dataset.day_connections(day)
+            result = detector.process_day(
+                day, conns, soc_seed_domains=ioc.seeds()
+            )
+            if result.soc_hints is not None:
+                ran_hints = True
+                assert result.soc_hints.domains  # seeds at minimum
+        assert ran_hints
+
+    def test_cc_domains_sorted_by_score(self, trained, enterprise_dataset):
+        first = enterprise_dataset.config.bootstrap_days
+        for day in range(first, enterprise_dataset.config.total_days):
+            conns = enterprise_dataset.day_connections(day)
+            result = trained.process_day(day, conns, update_profiles=False)
+            scores = [s.score for s in result.cc_domains]
+            assert scores == sorted(scores, reverse=True)
+            if result.cc_domains:
+                break

@@ -1,0 +1,107 @@
+"""Integration tests: the enterprise evaluation end to end (Section VI)."""
+
+import statistics
+
+import pytest
+
+
+class TestTraining:
+    def test_both_models_trained(self, enterprise_evaluation):
+        report = enterprise_evaluation.detector.report
+        assert report.cc_model is not None
+        assert report.similarity_model is not None
+        assert report.automated_domain_samples >= 8
+        assert report.similarity_samples >= 10
+
+    def test_dom_age_negatively_correlated(self, enterprise_evaluation):
+        """Section VI-A: DomAge is the only feature negatively
+        correlated with reported domains (old domains are benign)."""
+        model = enterprise_evaluation.detector.report.cc_model
+        assert model.coefficient("dom_age").estimate < 0
+
+    def test_rare_ua_positively_correlated(self, enterprise_evaluation):
+        model = enterprise_evaluation.detector.report.cc_model
+        assert model.coefficient("rare_ua").estimate > 0
+
+
+class TestFigure5:
+    def test_reported_scores_dominate_legitimate(self, enterprise_evaluation):
+        reported, legitimate = enterprise_evaluation.score_samples()
+        assert reported and legitimate
+        assert statistics.mean(reported) > statistics.mean(legitimate)
+
+
+class TestFigure6a:
+    @pytest.fixture(scope="class")
+    def sweep(self, enterprise_evaluation):
+        return enterprise_evaluation.cc_sweep((0.40, 0.44, 0.48))
+
+    def test_count_decreases_with_threshold(self, sweep):
+        counts = [p.detected_count for p in sweep]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_detections_contain_true_cc(self, sweep, enterprise_dataset):
+        loosest = sweep[0]
+        cc_truth = {
+            d for c in enterprise_dataset.campaigns for d in c.cc_domains
+        }
+        assert loosest.detected & cc_truth
+
+    def test_detected_sets_nested(self, sweep):
+        """A stricter threshold must detect a subset."""
+        for looser, stricter in zip(sweep, sweep[1:]):
+            assert stricter.detected <= looser.detected
+
+
+class TestFigure6b:
+    @pytest.fixture(scope="class")
+    def sweep(self, enterprise_evaluation):
+        return enterprise_evaluation.no_hint_sweep((0.33, 0.65, 0.85))
+
+    def test_count_decreases_with_threshold(self, sweep):
+        counts = [p.detected_count for p in sweep]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bp_expands_beyond_cc_seeds(self, sweep, enterprise_evaluation):
+        cc_only = enterprise_evaluation.cc_detections(0.4)
+        assert len(sweep[0].detected) > len(cc_only)
+
+    def test_new_discoveries_found(self, sweep):
+        """The paper's key claim: detections unknown to VT and SOC."""
+        assert sweep[0].breakdown.new_malicious > 0
+
+    def test_tdr_reasonable(self, sweep):
+        assert sweep[0].breakdown.tdr >= 0.6
+
+
+class TestFigure6c:
+    @pytest.fixture(scope="class")
+    def sweep(self, enterprise_evaluation):
+        return enterprise_evaluation.soc_hints_sweep((0.33, 0.40, 0.45))
+
+    def test_seeds_excluded_from_detections(self, sweep, enterprise_evaluation):
+        seeds = set(enterprise_evaluation.ioc.seeds())
+        for point in sweep:
+            assert not (point.detected & seeds)
+
+    def test_count_decreases_with_threshold(self, sweep):
+        counts = [p.detected_count for p in sweep]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_finds_campaign_siblings(self, sweep, enterprise_dataset):
+        """Seeding with IOCs must surface other domains of the same
+        campaigns (the Figure 8 behaviour)."""
+        truth = enterprise_dataset.malicious_domains
+        assert sweep[0].detected & truth
+
+
+class TestModesComplementary:
+    def test_modes_overlap_only_partially(self, enterprise_evaluation):
+        """Section VI-D: the two modes detect substantially different
+        domain sets, so running both improves coverage."""
+        no_hint = enterprise_evaluation.no_hint_detections(0.33)
+        hints = enterprise_evaluation.soc_hints_detections(0.33)
+        assert no_hint or hints
+        union = no_hint | hints
+        overlap = no_hint & hints
+        assert len(overlap) < len(union)

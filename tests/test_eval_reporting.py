@@ -1,0 +1,46 @@
+"""Unit tests for the table/CDF rendering helpers."""
+
+from repro.eval import cdf_at, render_cdf, render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(("a", "b"), [(1, 2), (3, 4)], title="T")
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "3" in text and "4" in text
+
+    def test_column_alignment(self):
+        text = render_table(("name", "n"), [("longvalue", 1)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:1]}) == 1
+
+    def test_empty_rows(self):
+        text = render_table(("x",), [])
+        assert "x" in text
+
+
+class TestCdf:
+    def test_cdf_at_basic(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(samples, 2.0) == 0.5
+        assert cdf_at(samples, 0.0) == 0.0
+        assert cdf_at(samples, 10.0) == 1.0
+
+    def test_cdf_at_empty(self):
+        assert cdf_at([], 5.0) == 0.0
+
+    def test_render_cdf_has_checkpoints(self):
+        text = render_cdf([1.0, 2.0, 3.0], label="gaps")
+        assert "gaps" in text
+        assert "p100%" in text or "p 100%" in text
+
+    def test_render_cdf_empty(self):
+        assert "no samples" in render_cdf([], label="x")
+
+
+class TestRenderSeries:
+    def test_pairs_rendered(self):
+        text = render_series([0.4, 0.5], [10, 7], x_label="thr", y_label="n")
+        assert "0.4" in text and "10" in text
+        assert "thr" in text and "n" in text

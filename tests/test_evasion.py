@@ -1,0 +1,103 @@
+"""Evasion scenarios from Section VIII: what the detectors miss and
+what still catches the campaign anyway."""
+
+import random
+
+import pytest
+
+from repro.config import HistogramConfig
+from repro.core.scoring import AdditiveSimilarityScorer
+from repro.logs import Connection
+from repro.profiling import DailyTraffic
+from repro.synthetic import CampaignFactory, CampaignSpec, DomainNameFactory, IpAllocator, build_enterprise
+from repro.intel import WhoisDatabase
+from repro.timing import AutomationDetector
+
+
+def randomized_campaign(seed=5):
+    """A campaign whose beacons are fully randomized (jitter ~ period)."""
+    rng = random.Random(seed)
+    names = DomainNameFactory(rng)
+    factory = CampaignFactory(names, IpAllocator(seed=1), WhoisDatabase(), rng)
+    hosts = build_enterprise(10, rng).hosts
+    spec = CampaignSpec(
+        n_hosts=2, n_delivery=2, n_cc=1,
+        beacon_period=600.0, beacon_jitter=550.0,  # near-full randomization
+    )
+    campaign = factory.create(0, hosts, spec)
+    return factory, campaign
+
+
+class TestRandomizedBeacons:
+    def test_timing_detector_misses_randomized_cc(self):
+        """The acknowledged limitation: fully randomized beacons evade
+        the dynamic-histogram detector (Section VIII)."""
+        factory, campaign = randomized_campaign()
+        visits = factory.day_visits(campaign, 0)
+        cc = campaign.cc_domains[0]
+        detector = AutomationDetector(HistogramConfig())
+        for host in campaign.host_names:
+            times = sorted(
+                v.timestamp for v in visits
+                if v.domain == cc and v.host == host
+            )
+            verdict = detector.test_series(host, cc, times)
+            assert not verdict.automated
+
+    def test_similarity_path_still_reaches_randomized_cc(self):
+        """Belief propagation's similarity scoring is timing-pattern
+        agnostic: with a hint, the randomized C&C is still labeled via
+        delivery-stage correlation (same hosts, close first visits,
+        shared /24)."""
+        factory, campaign = randomized_campaign()
+        visits = factory.day_visits(campaign, 0)
+        traffic = DailyTraffic(0)
+        traffic.ingest(
+            Connection(
+                timestamp=v.timestamp, host=v.host, domain=v.domain,
+                resolved_ip=v.resolved_ip, user_agent=v.user_agent,
+                referer=v.referer,
+            )
+            for v in visits
+        )
+        traffic.finalize()
+        scorer = AdditiveSimilarityScorer()
+        cc = campaign.cc_domains[0]
+        delivery = set(campaign.delivery_domains)
+        score = scorer.score(cc, delivery, traffic)
+        assert score >= 0.25  # clears the LANL threshold Ts
+
+    def test_small_jitter_does_not_evade(self):
+        """Contrast: the realistic small-jitter attacker is caught."""
+        rng = random.Random(7)
+        names = DomainNameFactory(rng)
+        factory = CampaignFactory(names, IpAllocator(seed=2), WhoisDatabase(), rng)
+        hosts = build_enterprise(10, rng).hosts
+        spec = CampaignSpec(n_hosts=1, beacon_period=600.0, beacon_jitter=4.0)
+        campaign = factory.create(0, hosts, spec)
+        visits = factory.day_visits(campaign, 0)
+        cc = campaign.cc_domains[0]
+        host = campaign.host_names[0]
+        times = sorted(v.timestamp for v in visits if v.domain == cc)
+        assert AutomationDetector().test_series(host, cc, times).automated
+
+
+class TestUnregisteredDga:
+    def test_unregistered_domains_get_imputed_age(self):
+        """Section VI-D: DGA domains observed before registration must
+        flow through the imputation path, not crash."""
+        from repro.features import WhoisFeatureExtractor
+
+        rng = random.Random(9)
+        names = DomainNameFactory(rng)
+        whois = WhoisDatabase()
+        factory = CampaignFactory(names, IpAllocator(seed=3), whois, rng)
+        hosts = build_enterprise(5, rng).hosts
+        spec = CampaignSpec(dga_style="hex_info", dga_cluster=5,
+                            unregistered_rate=1.0)
+        campaign = factory.create(0, hosts, spec)
+        extractor = WhoisFeatureExtractor(whois)
+        for domain in campaign.dga_domains:
+            features = extractor.extract(domain, when=86_400.0)
+            assert features.imputed
+            assert 0.0 <= features.dom_age <= 1.0

@@ -1,0 +1,177 @@
+"""Failure-injection tests: the pipeline under degraded inputs.
+
+Operational log pipelines meet corrupt files, empty days, absent
+intelligence sources and pathological timing series; none of these may
+crash detection or corrupt carried state.
+"""
+
+import pytest
+
+from repro.config import HistogramConfig, SystemConfig
+from repro.core import EnterpriseDetector, belief_propagation
+from repro.intel import VirusTotalOracle, WhoisDatabase
+from repro.logs import Connection, parse_dns_log, parse_proxy_log
+from repro.profiling import DailyTraffic, DestinationHistory, extract_rare_domains
+from repro.timing import AutomationDetector
+
+
+class TestCorruptLogs:
+    def test_dns_stream_survives_garbage(self):
+        lines = [
+            "100.0 10.0.0.1 A ok.c3 1.2.3.4",
+            "\x00\x01 binary trash",
+            "not even close",
+            "200.0 10.0.0.1 A also-ok.c3 -",
+            "300.0 10.0.0.1",                 # truncated
+            "400 10.0.0.1 A trailing.c3 - extra fields here",
+        ]
+        records = list(parse_dns_log(lines))
+        assert [r.domain for r in records] == ["ok.c3", "also-ok.c3"]
+
+    def test_proxy_stream_survives_garbage(self):
+        good = "100.0\t0\t1.2.3.4\tGET\td.com\t/\t-\t200\t-\t-"
+        lines = [good, "a\tb", "", good.replace("200", "not-a-code")]
+        assert len(list(parse_proxy_log(lines))) == 1
+
+    def test_entirely_garbage_file_yields_nothing(self):
+        assert list(parse_dns_log(["x"] * 100)) == []
+
+
+class TestEmptyAndDegenerateDays:
+    def test_empty_day_produces_empty_result(self, enterprise_dataset):
+        detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+        detector.train(
+            enterprise_dataset.day_batches(0, enterprise_dataset.config.bootstrap_days),
+            enterprise_dataset.build_virustotal(),
+        )
+        result = detector.process_day(99, [], update_profiles=False)
+        assert result.rare_domains == set()
+        assert result.cc_domains == []
+        assert result.no_hint is None
+
+    def test_single_connection_day(self, enterprise_dataset):
+        detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+        detector.train(
+            enterprise_dataset.day_batches(0, enterprise_dataset.config.bootstrap_days),
+            enterprise_dataset.build_virustotal(),
+        )
+        conn = Connection(
+            timestamp=99 * 86_400.0, host="h1", domain="lonely.ru",
+            user_agent="UA", referer="",
+        )
+        result = detector.process_day(99, [conn], update_profiles=False)
+        assert result.rare_domains == {"lonely.ru"}
+        assert result.cc_domains == []  # one connection cannot beacon
+
+    def test_rare_extraction_on_empty_traffic(self):
+        traffic = DailyTraffic(0)
+        traffic.finalize()
+        assert extract_rare_domains(traffic, DestinationHistory()) == set()
+
+
+class TestDegradedIntelligence:
+    def test_all_whois_missing_uses_imputation(self, enterprise_dataset):
+        """Training with an *empty* WHOIS registry must still work --
+        every feature falls back to the imputed neutral value."""
+        detector = EnterpriseDetector(whois=WhoisDatabase())
+        report = detector.train(
+            enterprise_dataset.day_batches(0, enterprise_dataset.config.bootstrap_days),
+            enterprise_dataset.build_virustotal(),
+        )
+        assert report.cc_model is not None
+        # dom_age carries no signal now; the model must lean on others.
+        age = report.cc_model.coefficient("dom_age")
+        assert not age.significant
+
+    def test_blind_virustotal_degrades_gracefully(self, enterprise_dataset):
+        """Coverage 0 leaves no positive labels: models may fit but
+        everything scores near zero; nothing crashes."""
+        blind = VirusTotalOracle(
+            enterprise_dataset.malicious_domains, coverage=0.0
+        )
+        detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+        report = detector.train(
+            enterprise_dataset.day_batches(0, enterprise_dataset.config.bootstrap_days),
+            blind,
+        )
+        if report.cc_model is not None and report.similarity_model is not None:
+            day = enterprise_dataset.config.bootstrap_days
+            result = detector.process_day(
+                day, enterprise_dataset.day_connections(day),
+                update_profiles=False,
+            )
+            assert result.cc_domains == []  # no positives -> no alarms
+
+    def test_no_whois_at_all(self):
+        """DNS-style deployment: detector constructed without WHOIS."""
+        detector = EnterpriseDetector()
+        assert detector.extractor.whois is None
+
+
+class TestPathologicalTiming:
+    def test_identical_timestamps(self):
+        detector = AutomationDetector()
+        verdict = detector.test_series("h", "d", [100.0] * 10)
+        # Zero intervals: perfectly "periodic" at period 0 -- flagged
+        # automated, which is correct for a hammering process.
+        assert verdict.automated
+        assert verdict.period == 0.0
+
+    def test_two_connections_insufficient(self):
+        detector = AutomationDetector(HistogramConfig(min_connections=4))
+        assert not detector.test_series("h", "d", [0.0, 600.0]).automated
+
+    def test_huge_series_does_not_blow_up(self):
+        times = [float(i) * 60.0 for i in range(5000)]
+        verdict = AutomationDetector().test_series("h", "d", times)
+        assert verdict.automated
+
+    def test_extreme_interval_values(self):
+        times = [0.0, 1e-9, 1e9, 2e9]
+        verdict = AutomationDetector().test_series("h", "d", times)
+        assert verdict.connections == 4  # no crash, finite divergence
+
+
+class TestBeliefPropagationEdges:
+    def test_empty_seeds(self):
+        result = belief_propagation(
+            set(), set(), dom_host={}, host_rdom={},
+            detect_cc=lambda d: False, similarity_score=lambda d, m: 0.0,
+        )
+        assert result.hosts == set()
+        assert result.domains == set()
+
+    def test_seed_domain_without_traffic(self):
+        """IOC seeds for domains not present today must not crash."""
+        result = belief_propagation(
+            {"h1"}, {"ghost.ru"}, dom_host={}, host_rdom={"h1": set()},
+            detect_cc=lambda d: False, similarity_score=lambda d, m: 0.0,
+        )
+        assert "ghost.ru" in result.domains
+
+    def test_scoring_function_raising_is_not_swallowed(self):
+        def bad_score(domain, malicious):
+            raise RuntimeError("scorer exploded")
+
+        with pytest.raises(RuntimeError):
+            belief_propagation(
+                {"h1"}, set(),
+                dom_host={"d.ru": {"h1"}}, host_rdom={"h1": {"d.ru"}},
+                detect_cc=lambda d: False, similarity_score=bad_score,
+            )
+
+
+class TestStateResilience:
+    def test_restore_rejects_missing_keys(self):
+        from repro.state import StateError, restore_detector
+
+        with pytest.raises((StateError, KeyError)):
+            restore_detector({"version": 1})
+
+    def test_config_round_trip_under_sweep(self):
+        from repro.state import decode_config, encode_config
+
+        config = SystemConfig().with_thresholds(similarity=0.33)
+        for _ in range(3):
+            config = decode_config(encode_config(config))
+        assert config.belief_propagation.similarity_threshold == 0.33

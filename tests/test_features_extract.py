@@ -1,0 +1,172 @@
+"""Unit tests for C&C and similarity feature extraction."""
+
+import math
+
+import pytest
+
+from repro.features import (
+    CC_FEATURE_NAMES,
+    SIMILARITY_FEATURE_NAMES,
+    FeatureExtractor,
+    scale_count,
+    timing_closeness,
+)
+from repro.logs import Connection
+from repro.profiling import DailyTraffic, UserAgentHistory
+
+
+def conn(host, domain, ts=0.0, ua="CommonUA", referer="http://x/", ip=""):
+    return Connection(
+        timestamp=ts, host=host, domain=domain,
+        resolved_ip=ip, user_agent=ua, referer=referer,
+    )
+
+
+def build_traffic(connections, rare_uas=()):
+    traffic = DailyTraffic(0)
+    traffic.ingest(connections, ua_is_rare=lambda ua: ua in rare_uas or not ua)
+    traffic.finalize()
+    return traffic
+
+
+class TestScalars:
+    def test_scale_count_zero(self):
+        assert scale_count(0) == 0.0
+
+    def test_scale_count_saturates(self):
+        assert scale_count(10) == 1.0
+        assert scale_count(50) == 1.0
+
+    def test_scale_count_linear_below_cap(self):
+        assert scale_count(5) == 0.5
+
+    def test_timing_closeness_none(self):
+        assert timing_closeness(None) == 0.0
+
+    def test_timing_closeness_zero_gap(self):
+        assert timing_closeness(0.0) == 1.0
+
+    def test_timing_closeness_decays(self):
+        assert timing_closeness(1800.0) == pytest.approx(math.exp(-1))
+        assert timing_closeness(1800.0) > timing_closeness(3600.0)
+
+    def test_timing_closeness_symmetric(self):
+        assert timing_closeness(-600.0) == timing_closeness(600.0)
+
+
+class TestCcFeatures:
+    def test_vector_order_matches_names(self):
+        traffic = build_traffic([conn("h1", "d.com")])
+        extractor = FeatureExtractor()
+        features = extractor.cc_features("d.com", traffic, set(), when=0.0)
+        assert len(features.as_vector()) == len(CC_FEATURE_NAMES)
+
+    def test_no_hosts_counts_contacting_hosts(self):
+        traffic = build_traffic([conn("h1", "d.com"), conn("h2", "d.com")])
+        features = FeatureExtractor().cc_features("d.com", traffic, set(), 0.0)
+        assert features.no_hosts == pytest.approx(0.2)
+
+    def test_auto_hosts_intersects_with_contacting(self):
+        traffic = build_traffic([conn("h1", "d.com"), conn("h2", "d.com")])
+        features = FeatureExtractor().cc_features(
+            "d.com", traffic, {"h1", "h9"}, 0.0
+        )
+        assert features.auto_hosts == pytest.approx(0.1)
+
+    def test_no_ref_fraction(self):
+        traffic = build_traffic(
+            [conn("h1", "d.com", referer=""), conn("h2", "d.com")]
+        )
+        features = FeatureExtractor().cc_features("d.com", traffic, set(), 0.0)
+        assert features.no_ref == pytest.approx(0.5)
+
+    def test_rare_ua_fraction(self):
+        traffic = build_traffic(
+            [conn("h1", "d.com", ua="Weird/1"), conn("h2", "d.com")],
+            rare_uas={"Weird/1"},
+        )
+        features = FeatureExtractor().cc_features("d.com", traffic, set(), 0.0)
+        assert features.rare_ua == pytest.approx(0.5)
+
+    def test_without_whois_registration_is_neutral(self):
+        traffic = build_traffic([conn("h1", "d.com")])
+        features = FeatureExtractor().cc_features("d.com", traffic, set(), 0.0)
+        assert features.dom_age == 0.5
+        assert features.dom_validity == 0.5
+
+    def test_ua_history_integration(self):
+        history = UserAgentHistory(rare_max_hosts=2)
+        history.bootstrap([("Popular", f"h{i}") for i in range(5)])
+        traffic = DailyTraffic(0)
+        traffic.ingest(
+            [conn("h1", "d.com", ua="Popular"), conn("h2", "d.com", ua="Odd")],
+            ua_is_rare=history.is_rare,
+        )
+        traffic.finalize()
+        features = FeatureExtractor(history).cc_features("d.com", traffic, set(), 0.0)
+        assert features.rare_ua == pytest.approx(0.5)
+
+
+class TestSimilarityFeatures:
+    def _traffic(self):
+        return build_traffic(
+            [
+                conn("h1", "cc.ru", ts=1000.0, ip="5.5.5.10"),
+                conn("h1", "near.ru", ts=1100.0, ip="5.5.5.99"),
+                conn("h1", "far.com", ts=50_000.0, ip="9.9.9.9"),
+                conn("h2", "sub16.net", ts=2000.0, ip="5.5.77.3"),
+                conn("h2", "cc.ru", ts=2100.0, ip="5.5.5.10"),
+            ]
+        )
+
+    def test_vector_order_matches_names(self):
+        features = FeatureExtractor().similarity_features(
+            "near.ru", {"cc.ru"}, self._traffic(), 0.0
+        )
+        assert len(features.as_vector()) == len(SIMILARITY_FEATURE_NAMES)
+
+    def test_min_visit_gap(self):
+        gap = FeatureExtractor.min_visit_gap("near.ru", {"cc.ru"}, self._traffic())
+        assert gap == pytest.approx(100.0)
+
+    def test_min_visit_gap_no_shared_host(self):
+        traffic = build_traffic(
+            [conn("h1", "a.com", ts=0.0), conn("h2", "b.com", ts=0.0)]
+        )
+        assert FeatureExtractor.min_visit_gap("a.com", {"b.com"}, traffic) is None
+
+    def test_self_comparison_excluded(self):
+        traffic = self._traffic()
+        assert FeatureExtractor.min_visit_gap("cc.ru", {"cc.ru"}, traffic) is None
+
+    def test_ip24_proximity(self):
+        ip24, ip16 = FeatureExtractor.subnet_proximity(
+            "near.ru", {"cc.ru"}, self._traffic()
+        )
+        assert ip24 == 1.0
+        assert ip16 == 1.0  # /24 implies /16 (the paper's correlation)
+
+    def test_ip16_only(self):
+        ip24, ip16 = FeatureExtractor.subnet_proximity(
+            "sub16.net", {"cc.ru"}, self._traffic()
+        )
+        assert ip24 == 0.0
+        assert ip16 == 1.0
+
+    def test_no_proximity(self):
+        ip24, ip16 = FeatureExtractor.subnet_proximity(
+            "far.com", {"cc.ru"}, self._traffic()
+        )
+        assert (ip24, ip16) == (0.0, 0.0)
+
+    def test_no_resolved_ip_gives_zero(self):
+        traffic = build_traffic([conn("h1", "noip.com"), conn("h1", "cc.ru", ip="5.5.5.1")])
+        assert FeatureExtractor.subnet_proximity("noip.com", {"cc.ru"}, traffic) == (0.0, 0.0)
+
+    def test_near_domain_scores_closer_than_far(self):
+        extractor = FeatureExtractor()
+        traffic = self._traffic()
+        near = extractor.similarity_features("near.ru", {"cc.ru"}, traffic, 0.0)
+        far = extractor.similarity_features("far.com", {"cc.ru"}, traffic, 0.0)
+        assert near.dom_interval > far.dom_interval
+        assert near.ip24 > far.ip24

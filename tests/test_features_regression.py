@@ -1,0 +1,113 @@
+"""Unit tests for the OLS/ridge linear model."""
+
+import numpy as np
+import pytest
+
+from repro.features import fit_linear_model
+
+
+class TestFit:
+    def test_recovers_exact_linear_relation(self):
+        rows = [[float(i)] for i in range(10)]
+        labels = [2.0 * i + 1.0 for i in range(10)]
+        model = fit_linear_model(("x",), rows, labels)
+        assert model.intercept == pytest.approx(1.0)
+        assert model.weights[0] == pytest.approx(2.0)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_score_matches_fit(self):
+        rows = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.0, 0.0], [0.5, 0.5]]
+        labels = [1.0, 0.0, 1.0, 0.0, 0.5]
+        model = fit_linear_model(("a", "b"), rows, labels)
+        assert model.score([1.0, 0.0]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_score_many_matches_score(self):
+        rows = [[float(i), float(i % 3)] for i in range(12)]
+        labels = [r[0] - r[1] for r in rows]
+        model = fit_linear_model(("a", "b"), rows, labels)
+        many = model.score_many(np.array(rows))
+        singles = [model.score(r) for r in rows]
+        assert np.allclose(many, singles)
+
+    def test_significant_feature_found(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=(200, 2))
+        y = 3.0 * x[:, 0] + rng.normal(scale=0.1, size=200)
+        model = fit_linear_model(("signal", "noise"), x.tolist(), y.tolist())
+        assert model.coefficient("signal").significant
+        assert model.coefficient("signal").estimate == pytest.approx(3.0, abs=0.2)
+        # The noise term's estimate must be negligible next to the signal.
+        assert abs(model.coefficient("noise").estimate) < 0.3
+
+    def test_noise_feature_insignificant_but_present(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(size=(100, 1))
+        y = rng.normal(size=100)
+        model = fit_linear_model(("noise",), x.tolist(), y.tolist())
+        assert model.coefficient("noise").p_value > 0.01
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(("a", "b"), [[1.0]], [1.0])
+
+    def test_wrong_label_length_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(("a",), [[1.0], [2.0]], [1.0])
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(("a",), [[1.0]], [1.0])
+
+    def test_score_wrong_arity_rejected(self):
+        model = fit_linear_model(("a",), [[0.0], [1.0], [2.0]], [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            model.score([1.0, 2.0])
+
+    def test_collinear_design_does_not_crash(self):
+        rows = [[1.0, 2.0], [2.0, 4.0], [3.0, 6.0], [4.0, 8.0]]
+        labels = [1.0, 2.0, 3.0, 4.0]
+        model = fit_linear_model(("a", "a2"), rows, labels)
+        assert np.isfinite(model.score([1.0, 2.0]))
+
+    def test_unknown_coefficient_name(self):
+        model = fit_linear_model(("a",), [[0.0], [1.0], [2.0]], [0.0, 1.0, 2.0])
+        with pytest.raises(KeyError):
+            model.coefficient("zzz")
+
+    def test_summary_contains_terms(self):
+        model = fit_linear_model(("alpha",), [[0.0], [1.0], [2.0]], [0.0, 1.0, 2.0])
+        text = model.summary()
+        assert "alpha" in text and "(intercept)" in text
+
+
+class TestRidge:
+    def test_ridge_shrinks_weights(self):
+        rows = [[0.0], [0.0], [1.0], [1.0]]
+        labels = [0.0, 0.0, 1.0, 1.0]
+        plain = fit_linear_model(("x",), rows, labels)
+        ridged = fit_linear_model(("x",), rows, labels, ridge=1.0)
+        assert abs(ridged.weights[0]) < abs(plain.weights[0])
+
+    def test_ridge_stabilizes_separable_data(self):
+        """Near-separable tiny sets explode without a penalty."""
+        rows = [[1.0, 1.0], [1.0, 0.99], [0.0, 0.0], [0.0, 0.01]]
+        labels = [1.0, 1.0, 0.0, 0.0]
+        ridged = fit_linear_model(("a", "b"), rows, labels, ridge=0.1)
+        assert all(abs(w) < 5.0 for w in ridged.weights)
+
+    def test_zero_ridge_is_ols(self):
+        rows = [[float(i)] for i in range(6)]
+        labels = [2.0 * i for i in range(6)]
+        a = fit_linear_model(("x",), rows, labels, ridge=0.0)
+        b = fit_linear_model(("x",), rows, labels)
+        assert a.weights[0] == pytest.approx(b.weights[0])
+
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(ValueError):
+            fit_linear_model(("x",), [[0.0], [1.0]], [0.0, 1.0], ridge=-1.0)
+
+    def test_intercept_not_penalized(self):
+        rows = [[0.0], [0.0], [0.0], [0.0]]
+        labels = [5.0, 5.0, 5.0, 5.0]
+        model = fit_linear_model(("x",), rows, labels, ridge=10.0)
+        assert model.intercept == pytest.approx(5.0)

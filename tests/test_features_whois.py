@@ -1,0 +1,98 @@
+"""Unit tests for WHOIS registration features."""
+
+import pytest
+
+from repro.features import WhoisFeatureExtractor, normalize_age, normalize_validity
+from repro.intel import WhoisDatabase
+
+DAY = 86_400.0
+
+
+class TestNormalization:
+    def test_age_zero_for_brand_new(self):
+        assert normalize_age(0.0) == 0.0
+
+    def test_age_caps_at_one_year(self):
+        assert normalize_age(365.0) == 1.0
+        assert normalize_age(3650.0) == 1.0
+
+    def test_age_negative_clamped(self):
+        """Observed-before-registration (DGA case) pins age to 0."""
+        assert normalize_age(-5.0) == 0.0
+
+    def test_age_midrange(self):
+        assert normalize_age(182.5) == pytest.approx(0.5)
+
+    def test_validity_caps_at_five_years(self):
+        assert normalize_validity(5 * 365.0) == 1.0
+        assert normalize_validity(50 * 365.0) == 1.0
+
+    def test_validity_expired_is_zero(self):
+        assert normalize_validity(-10.0) == 0.0
+
+
+class TestWhoisDatabase:
+    def test_register_and_lookup(self):
+        db = WhoisDatabase()
+        db.register("evil.ru", registered=0.0, expires=365 * DAY)
+        record = db.lookup("evil.ru")
+        assert record is not None
+        assert record.age_days(30 * DAY) == pytest.approx(30.0)
+        assert record.validity_days(30 * DAY) == pytest.approx(335.0)
+
+    def test_unknown_domain_is_none(self):
+        assert WhoisDatabase().lookup("ghost.info") is None
+
+    def test_expiry_before_registration_rejected(self):
+        db = WhoisDatabase()
+        with pytest.raises(ValueError):
+            db.register("x.com", registered=100.0, expires=50.0)
+
+    def test_negative_age_before_registration(self):
+        """Section VI-D: detection can precede registration."""
+        db = WhoisDatabase()
+        db.register("dga.info", registered=10 * DAY, expires=400 * DAY)
+        assert db.lookup("dga.info").age_days(5 * DAY) < 0
+
+    def test_contains_and_len(self):
+        db = WhoisDatabase()
+        db.register("a.com", 0.0, DAY)
+        assert "a.com" in db and "b.com" not in db
+        assert len(db) == 1
+
+
+class TestWhoisFeatureExtractor:
+    def test_extract_known_domain(self):
+        db = WhoisDatabase()
+        db.register("old.com", registered=-400 * DAY, expires=5 * 365 * DAY)
+        extractor = WhoisFeatureExtractor(db)
+        features = extractor.extract("old.com", when=0.0)
+        assert features.dom_age == 1.0
+        assert not features.imputed
+
+    def test_unknown_domain_imputed_neutral_initially(self):
+        extractor = WhoisFeatureExtractor(WhoisDatabase())
+        features = extractor.extract("ghost.info", when=0.0)
+        assert features.imputed
+        assert features.dom_age == 0.5
+        assert features.dom_validity == 0.5
+
+    def test_imputation_tracks_population_mean(self):
+        """Section VI-C: defaults are averages over observed domains."""
+        db = WhoisDatabase()
+        db.register("young.ru", registered=0.0, expires=365 * DAY)
+        db.register("old.com", registered=-2 * 365 * DAY, expires=5 * 365 * DAY)
+        extractor = WhoisFeatureExtractor(db)
+        when = 10 * DAY
+        young = extractor.extract("young.ru", when)
+        old = extractor.extract("old.com", when)
+        imputed = extractor.extract("ghost.info", when)
+        assert imputed.imputed
+        assert imputed.dom_age == pytest.approx((young.dom_age + old.dom_age) / 2)
+
+    def test_unregistered_dga_gets_min_age_when_looked_up_later(self):
+        db = WhoisDatabase()
+        db.register("dga.info", registered=20 * DAY, expires=400 * DAY)
+        extractor = WhoisFeatureExtractor(db)
+        features = extractor.extract("dga.info", when=15 * DAY)
+        assert features.dom_age == 0.0  # negative age clamps to youngest

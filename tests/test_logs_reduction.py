@@ -1,0 +1,75 @@
+"""Unit tests for the reduction funnel (Section IV-A, Figure 2)."""
+
+from repro.logs import DnsRecord, DnsRecordType, ReductionFunnel
+
+
+def rec(domain, *, ts=100.0, src="10.0.0.1", rtype=DnsRecordType.A):
+    return DnsRecord(timestamp=ts, source_ip=src, domain=domain, record_type=rtype)
+
+
+class TestReductionFunnel:
+    def test_keeps_external_client_a_records(self):
+        funnel = ReductionFunnel(("int.c0",), frozenset({"10.0.0.250"}))
+        out = list(funnel.reduce([rec("evil.example.c3")]))
+        assert len(out) == 1
+
+    def test_drops_non_a(self):
+        funnel = ReductionFunnel()
+        out = list(funnel.reduce([rec("a.c3", rtype=DnsRecordType.TXT)]))
+        assert out == []
+
+    def test_drops_internal_queries(self):
+        funnel = ReductionFunnel(("int.c0",))
+        out = list(funnel.reduce([rec("printer.int.c0")]))
+        assert out == []
+
+    def test_drops_server_queries(self):
+        funnel = ReductionFunnel(server_ips=frozenset({"10.0.0.250"}))
+        out = list(funnel.reduce([rec("a.c3", src="10.0.0.250")]))
+        assert out == []
+
+    def test_funnel_is_monotone_per_step(self):
+        """Each successive step must retain a subset of the previous."""
+        funnel = ReductionFunnel(("int.c0",), frozenset({"10.0.0.250"}))
+        records = [
+            rec("a.c3"),
+            rec("b.c3", rtype=DnsRecordType.PTR),
+            rec("x.int.c0"),
+            rec("c.c3", src="10.0.0.250"),
+            rec("d.c3"),
+        ]
+        list(funnel.reduce(records))
+        day = 100.0 // 86_400
+        counts = [
+            funnel.stats.domain_counts(step).get(int(day), 0)
+            for step in (
+                "all",
+                "a_records",
+                "filter_internal_queries",
+                "filter_internal_servers",
+            )
+        ]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] == 5
+        assert counts[-1] == 2  # a.c3 and d.c3 survive
+
+    def test_record_counts_tracked(self):
+        funnel = ReductionFunnel()
+        list(funnel.reduce([rec("a.c3"), rec("a.c3"), rec("b.c3")]))
+        assert funnel.stats.record_counts("all")[0] == 3
+        assert funnel.stats.domain_counts("all")[0] == 2
+
+    def test_profiling_steps_recorded(self):
+        funnel = ReductionFunnel()
+        funnel.observe_profiling_step("rare", 5, ["x.c3", "y.c3"])
+        assert funnel.stats.domain_counts("rare")[5] == 2
+
+    def test_days_enumeration(self):
+        funnel = ReductionFunnel()
+        list(funnel.reduce([rec("a.c3", ts=10.0), rec("b.c3", ts=86_400.0 + 5)]))
+        assert funnel.stats.days() == [0, 1]
+
+    def test_folding_merges_subdomains(self):
+        funnel = ReductionFunnel(fold_level=2)
+        list(funnel.reduce([rec("x.evil.com"), rec("y.evil.com")]))
+        assert funnel.stats.domain_counts("all")[0] == 1

@@ -1,0 +1,144 @@
+"""Property-based tests for Algorithm 1 on random bipartite worlds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import BeliefPropagationConfig
+from repro.core import belief_propagation
+
+hosts_strategy = st.sets(
+    st.sampled_from([f"h{i}" for i in range(8)]), min_size=1, max_size=8
+)
+domains_strategy = st.sets(
+    st.sampled_from([f"d{i}.ru" for i in range(10)]), min_size=1, max_size=10
+)
+
+
+@st.composite
+def worlds(draw):
+    """A random bipartite world plus seeds, scores and C&C labels."""
+    hosts = sorted(draw(hosts_strategy))
+    domains = sorted(draw(domains_strategy))
+    dom_host = {
+        domain: set(draw(st.sets(st.sampled_from(hosts), max_size=len(hosts))))
+        for domain in domains
+    }
+    host_rdom: dict[str, set[str]] = {host: set() for host in hosts}
+    for domain, members in dom_host.items():
+        for host in members:
+            host_rdom[host].add(domain)
+    seed_hosts = set(draw(st.sets(st.sampled_from(hosts), min_size=1, max_size=3)))
+    cc = set(draw(st.sets(st.sampled_from(domains), max_size=3)))
+    scores = {
+        domain: draw(st.floats(0, 1, allow_nan=False)) for domain in domains
+    }
+    max_iterations = draw(st.integers(1, 8))
+    threshold = draw(st.floats(0.1, 0.9))
+    return (hosts, domains, dom_host, host_rdom, seed_hosts, cc, scores,
+            max_iterations, threshold)
+
+
+def run(world):
+    (_, _, dom_host, host_rdom, seed_hosts, cc, scores,
+     max_iterations, threshold) = world
+    config = BeliefPropagationConfig(
+        similarity_threshold=threshold, max_iterations=max_iterations
+    )
+    result = belief_propagation(
+        seed_hosts,
+        set(),
+        dom_host=dom_host,
+        host_rdom=host_rdom,
+        detect_cc=lambda dom: dom in cc,
+        similarity_score=lambda dom, malicious: scores[dom],
+        config=config,
+    )
+    return result, config
+
+
+class TestBeliefPropagationProperties:
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_hosts_superset_of_seeds(self, world):
+        result, _ = run(world)
+        assert world[4] <= result.hosts
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_labeled_domains_are_reachable_rare_domains(self, world):
+        """Every labeled domain is visited by some compromised host."""
+        result, _ = run(world)
+        dom_host = world[2]
+        for domain in result.domains:
+            assert dom_host.get(domain, set()) & result.hosts or not dom_host.get(domain)
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_iteration_cap_respected(self, world):
+        result, config = run(world)
+        assert result.iterations <= config.max_iterations
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_similarity_labels_clear_threshold(self, world):
+        result, config = run(world)
+        scores = world[6]
+        for detection in result.detections:
+            if detection.reason == "similarity":
+                assert scores[detection.domain] >= config.similarity_threshold
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_cc_domains_labeled_cc(self, world):
+        """Any labeled domain that is in the C&C set must carry the cc
+        reason (phase 1 runs before similarity)."""
+        result, _ = run(world)
+        cc = world[5]
+        for detection in result.detections:
+            if detection.domain in cc and detection.reason != "seed":
+                assert detection.reason == "cc"
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_deterministic(self, world):
+        first, _ = run(world)
+        second, _ = run(world)
+        assert [d.domain for d in first.detections] == [
+            d.domain for d in second.detections
+        ]
+        assert first.hosts == second.hosts
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_graph_consistent_with_sets(self, world):
+        result, _ = run(world)
+        assert set(result.graph.hosts) == result.hosts
+        assert set(result.graph.domains) == result.domains
+        for host, domain in result.graph.edges:
+            assert host in result.hosts
+            assert domain in result.domains
+
+    @settings(max_examples=60)
+    @given(worlds())
+    def test_no_duplicate_detections(self, world):
+        result, _ = run(world)
+        names = [d.domain for d in result.detections]
+        assert len(names) == len(set(names))
+
+    @settings(max_examples=40)
+    @given(worlds(), st.floats(0.1, 0.9))
+    def test_higher_threshold_detects_subset_weakly(self, world, bump):
+        """Raising Ts cannot increase the number of similarity labels
+        on the same world (with identical iteration caps)."""
+        (hosts, domains, dom_host, host_rdom, seed_hosts, cc, scores,
+         max_iterations, threshold) = world
+        high = min(0.99, threshold + bump)
+        low_world = (hosts, domains, dom_host, host_rdom, seed_hosts, cc,
+                     scores, max_iterations, threshold)
+        high_world = (hosts, domains, dom_host, host_rdom, seed_hosts, cc,
+                      scores, max_iterations, high)
+        low_result, _ = run(low_world)
+        high_result, _ = run(high_world)
+        low_sim = sum(1 for d in low_result.detections if d.reason == "similarity")
+        high_sim = sum(1 for d in high_result.detections if d.reason == "similarity")
+        assert high_sim <= low_sim

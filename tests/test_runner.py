@@ -1,0 +1,101 @@
+"""Tests for the file-based DNS log runner."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.logs import format_dns_line
+from repro.runner import DnsLogRunner, run_directory
+
+
+@pytest.fixture(scope="module")
+def log_dir(lanl_dataset, tmp_path_factory) -> Path:
+    """Bootstrap day (3/1) + two attack days (3/2, 3/3) on disk."""
+    directory = tmp_path_factory.mktemp("dnslogs")
+    for march_date in (1, 2, 3):
+        path = directory / f"dns-march-{march_date:02d}.log"
+        with path.open("w") as handle:
+            for record in lanl_dataset.day_records(march_date):
+                handle.write(format_dns_line(record) + "\n")
+    return directory
+
+
+class TestRunDirectory:
+    def test_detects_campaigns_from_files(self, log_dir, lanl_dataset):
+        reports = run_directory(
+            log_dir,
+            bootstrap_files=1,
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        assert len(reports) == 2
+        for report, march_date in zip(reports, (2, 3)):
+            truth = lanl_dataset.campaign_for_date(march_date)
+            assert set(truth.cc_domains) <= report.cc_domains
+            assert set(truth.malicious_domains) <= set(report.detected)
+
+    def test_history_carries_across_days(self, log_dir, lanl_dataset):
+        reports = run_directory(
+            log_dir, bootstrap_files=1,
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        # Popular domains from 3/1 must not be rare on 3/2.
+        day2 = reports[0]
+        bootstrap_domains = lanl_dataset.bootstrap_domains
+        overlap = day2.rare_domains & bootstrap_domains
+        assert not overlap
+
+    def test_needs_enough_files(self, log_dir):
+        with pytest.raises(ValueError):
+            run_directory(log_dir, bootstrap_files=5)
+
+    def test_record_counts_reported(self, log_dir, lanl_dataset):
+        reports = run_directory(
+            log_dir, bootstrap_files=1,
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        assert all(r.records > 100 for r in reports)
+
+
+class TestDnsLogRunner:
+    def test_hint_mode(self, log_dir, lanl_dataset):
+        runner = DnsLogRunner(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        runner.bootstrap([log_dir / "dns-march-01.log"])
+        truth = lanl_dataset.campaign_for_date(2)
+        report = runner.process(
+            log_dir / "dns-march-02.log", hint_hosts=truth.hint_hosts
+        )
+        assert set(truth.malicious_domains) <= set(report.detected)
+
+    def test_no_seeds_no_detections_on_quiet_day(self, tmp_path, lanl_dataset):
+        quiet = tmp_path / "quiet.log"
+        bootstrap = tmp_path / "boot.log"
+        records = lanl_dataset.day_records(1)
+        half = len(records) // 2
+        with bootstrap.open("w") as handle:
+            for record in records[:half]:
+                handle.write(format_dns_line(record) + "\n")
+        with quiet.open("w") as handle:
+            for record in records[half:]:
+                handle.write(format_dns_line(record) + "\n")
+        runner = DnsLogRunner(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        runner.bootstrap([bootstrap])
+        report = runner.process(quiet)
+        # March 1 has no campaign, so no multi-host synced beacons.
+        assert report.cc_domains == set()
+
+    def test_bootstrap_returns_history_size(self, log_dir, lanl_dataset):
+        runner = DnsLogRunner(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        size = runner.bootstrap([log_dir / "dns-march-01.log"])
+        assert size > 50

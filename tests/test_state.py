@@ -1,0 +1,111 @@
+"""Tests for detector state persistence."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import EnterpriseDetector
+from repro.state import (
+    StateError,
+    decode_config,
+    decode_history,
+    decode_model,
+    decode_ua_history,
+    detector_state,
+    encode_config,
+    encode_history,
+    encode_model,
+    encode_ua_history,
+    load_detector,
+    restore_detector,
+    save_detector,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(enterprise_dataset):
+    detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+    detector.train(
+        enterprise_dataset.day_batches(0, enterprise_dataset.config.bootstrap_days),
+        enterprise_dataset.build_virustotal(),
+    )
+    return detector
+
+
+class TestComponentRoundTrips:
+    def test_history(self, trained):
+        restored = decode_history(encode_history(trained.history))
+        assert len(restored) == len(trained.history)
+        some = next(iter(trained.history._first_seen))
+        assert restored.first_seen(some) == trained.history.first_seen(some)
+
+    def test_ua_history(self, trained):
+        restored = decode_ua_history(encode_ua_history(trained.ua_history))
+        assert len(restored) == len(trained.ua_history)
+        for ua in list(trained.ua_history._hosts_by_ua)[:5]:
+            assert restored.popularity(ua) == trained.ua_history.popularity(ua)
+            assert restored.is_rare(ua) == trained.ua_history.is_rare(ua)
+
+    def test_model(self, trained):
+        model = trained.cc_scorer.model
+        restored = decode_model(encode_model(model))
+        assert restored.feature_names == model.feature_names
+        vector = [0.1, 0.2, 0.5, 1.0, 0.3, 0.7]
+        assert restored.score(vector) == pytest.approx(model.score(vector))
+        for original, copy in zip(model.coefficients, restored.coefficients):
+            assert copy.name == original.name
+            assert copy.p_value == pytest.approx(original.p_value)
+
+    def test_config(self):
+        config = SystemConfig().with_thresholds(similarity=0.6, cc_score=0.45)
+        restored = decode_config(encode_config(config))
+        assert restored == config
+
+    def test_state_is_json_serializable(self, trained):
+        text = json.dumps(detector_state(trained))
+        assert "cc_model" in text
+
+
+class TestDetectorRoundTrip:
+    def test_save_load(self, trained, enterprise_dataset, tmp_path):
+        path = tmp_path / "state.json"
+        save_detector(trained, path)
+        restored = load_detector(path, whois=enterprise_dataset.whois)
+
+        day = enterprise_dataset.config.bootstrap_days
+        conns = enterprise_dataset.day_connections(day)
+        original_result = trained.process_day(day, conns, update_profiles=False)
+        restored_result = restored.process_day(day, conns, update_profiles=False)
+        assert original_result.rare_domains == restored_result.rare_domains
+        assert original_result.cc_domain_names == restored_result.cc_domain_names
+
+    def test_restored_scores_identical(self, trained, enterprise_dataset, tmp_path):
+        path = tmp_path / "state.json"
+        save_detector(trained, path)
+        restored = load_detector(path, whois=enterprise_dataset.whois)
+        vector = [0.0, 0.0, 1.0, 1.0, 0.1, 0.2]
+        assert restored.cc_scorer.model.score(vector) == pytest.approx(
+            trained.cc_scorer.model.score(vector)
+        )
+        assert restored.cc_scorer.threshold == trained.cc_scorer.threshold
+
+    def test_version_check(self, trained):
+        payload = detector_state(trained)
+        payload["version"] = 999
+        with pytest.raises(StateError):
+            restore_detector(payload)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StateError):
+            load_detector(path)
+
+    def test_untrained_detector_round_trips(self, tmp_path):
+        detector = EnterpriseDetector()
+        path = tmp_path / "fresh.json"
+        save_detector(detector, path)
+        restored = load_detector(path)
+        assert restored.cc_scorer is None
+        assert restored.similarity_scorer is None

@@ -1,0 +1,266 @@
+"""Unit tests for the synthetic world primitives."""
+
+import random
+
+import pytest
+
+from repro.intel import WhoisDatabase
+from repro.logs.domains import is_valid_domain, same_subnet
+from repro.synthetic import (
+    BenignConfig,
+    BenignWorkload,
+    CampaignFactory,
+    CampaignSpec,
+    DomainNameFactory,
+    IpAllocator,
+    build_enterprise,
+)
+
+
+class TestIpAllocator:
+    def test_benign_ips_valid_and_distinct_blocks(self):
+        alloc = IpAllocator(seed=1)
+        ips = [alloc.benign_ip() for _ in range(50)]
+        blocks = {tuple(ip.split(".")[:3]) for ip in ips}
+        assert len(blocks) == 50
+
+    def test_attacker_block_colocates(self):
+        alloc = IpAllocator(seed=2)
+        block = alloc.attacker_block()
+        a = alloc.ip_in_block(block)
+        b = alloc.ip_in_block(block)
+        assert same_subnet(a, b, 24)
+
+    def test_sibling_block_shares_16_not_24(self):
+        alloc = IpAllocator(seed=3)
+        block = alloc.attacker_block()
+        sibling = alloc.sibling_block_16(block)
+        a = alloc.ip_in_block(block)
+        b = alloc.ip_in_block(sibling)
+        assert same_subnet(a, b, 16)
+        assert not same_subnet(a, b, 24)
+
+    def test_reserved_ranges_avoided(self):
+        alloc = IpAllocator(seed=4)
+        for _ in range(100):
+            first_octet = int(alloc.benign_ip().split(".")[0])
+            assert first_octet not in (10, 127, 172, 192)
+
+    def test_internal_pools_distinct(self):
+        alloc = IpAllocator()
+        assert alloc.internal_static_ip(5).startswith("10.")
+        assert alloc.dhcp_pool_ip(5).startswith("172.16.")
+        assert alloc.vpn_pool_ip(5).startswith("192.168.")
+
+    def test_deterministic_given_seed(self):
+        a = IpAllocator(seed=9)
+        b = IpAllocator(seed=9)
+        assert [a.benign_ip() for _ in range(5)] == [b.benign_ip() for _ in range(5)]
+
+
+class TestDomainNameFactory:
+    def _factory(self, seed=0):
+        return DomainNameFactory(random.Random(seed))
+
+    def test_all_families_valid_names(self):
+        factory = self._factory()
+        for maker in (
+            factory.benign, factory.benign_service, factory.attacker_ru,
+            factory.attacker_org, factory.dga_short_info,
+            factory.dga_hex_info, factory.lanl_anonymized, factory.lanl_benign,
+        ):
+            assert is_valid_domain(maker())
+
+    def test_names_unique_across_families(self):
+        factory = self._factory()
+        names = [factory.benign() for _ in range(100)]
+        names += [factory.dga_short_info() for _ in range(100)]
+        assert len(set(names)) == len(names)
+
+    def test_dga_short_info_shape(self):
+        factory = self._factory()
+        name = factory.dga_short_info()
+        label, tld = name.rsplit(".", 1)
+        assert tld == "info"
+        assert len(label) in (4, 5)
+
+    def test_dga_hex_info_shape(self):
+        factory = self._factory()
+        label, tld = factory.dga_hex_info().rsplit(".", 1)
+        assert tld == "info"
+        assert len(label) == 20
+        assert all(c in "0123456789abcdef" for c in label)
+
+    def test_attacker_ru_tld(self):
+        assert self._factory().attacker_ru().endswith(".ru")
+
+    def test_attacker_org_shape(self):
+        label, tld = self._factory().attacker_org().rsplit(".", 1)
+        assert tld == "org"
+        assert len(label) in (15, 16)
+
+    def test_deterministic(self):
+        assert self._factory(7).benign() == self._factory(7).benign()
+
+
+class TestBuildEnterprise:
+    def test_fleet_size(self):
+        model = build_enterprise(50, random.Random(0))
+        assert len(model.hosts) == 50
+        assert len(model.servers) == 4
+
+    def test_hosts_have_popular_ua_pool(self):
+        model = build_enterprise(30, random.Random(1))
+        for host in model.hosts:
+            assert 5 <= len(host.user_agents) <= 10
+
+    def test_rare_uas_exist_and_are_scarce(self):
+        model = build_enterprise(100, random.Random(2))
+        assert model.rare_user_agents
+        owners = [
+            h for h in model.hosts
+            if any(ua in model.rare_user_agents for ua in h.user_agents)
+        ]
+        assert 1 <= len(owners) <= 10
+
+    def test_needs_at_least_one_host(self):
+        with pytest.raises(ValueError):
+            build_enterprise(0, random.Random(0))
+
+
+class TestBenignWorkload:
+    def _workload(self, n_hosts=20, seed=0):
+        rng = random.Random(seed)
+        model = build_enterprise(n_hosts, rng)
+        return BenignWorkload(
+            model,
+            DomainNameFactory(rng),
+            IpAllocator(seed=1),
+            WhoisDatabase(),
+            rng,
+            BenignConfig(
+                popular_domains=20, browsing_visits_per_host=5,
+                churn_domains_per_day=5, popular_auto_services=2,
+                rare_auto_services_per_day=1,
+            ),
+        )
+
+    def test_visits_sorted_by_time(self):
+        visits = self._workload().day_visits(0)
+        times = [v.timestamp for v in visits]
+        assert times == sorted(times)
+
+    def test_visits_fall_within_day(self):
+        visits = self._workload().day_visits(3)
+        for visit in visits:
+            assert 3 * 86_400.0 <= visit.timestamp < 5 * 86_400.0
+
+    def test_popular_services_have_many_hosts(self):
+        workload = self._workload()
+        visits = workload.day_visits(0)
+        service_domains = {
+            v.domain for v in visits
+            if v.domain.split("-")[0] in
+            ("update", "sync", "cdn", "telemetry", "api", "feed")
+        }
+        assert service_domains
+        for domain in service_domains:
+            hosts = {v.host for v in visits if v.domain == domain}
+            # popular services are fleet-wide; rare ones single-host
+            assert len(hosts) >= 1
+
+    def test_churn_produces_new_domains_each_day(self):
+        workload = self._workload()
+        day0 = {v.domain for v in workload.day_visits(0)}
+        day1 = {v.domain for v in workload.day_visits(1)}
+        assert day1 - day0  # fresh names appear
+
+    def test_whois_populated(self):
+        workload = self._workload()
+        workload.day_visits(0)
+        assert len(workload.whois) > 0
+
+
+class TestCampaigns:
+    def _factory(self, seed=0):
+        rng = random.Random(seed)
+        names = DomainNameFactory(rng)
+        return CampaignFactory(names, IpAllocator(seed=1), WhoisDatabase(), rng), rng
+
+    def _hosts(self, rng, n=10):
+        return build_enterprise(n, rng).hosts
+
+    def test_campaign_structure(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec(n_hosts=3, n_delivery=2, n_cc=1)
+        campaign = factory.create(5, self._hosts(rng), spec)
+        assert len(campaign.hosts) == 3
+        assert len(campaign.delivery_domains) == 2
+        assert len(campaign.cc_domains) == 1
+        assert set(campaign.domain_ips) == set(campaign.domains)
+
+    def test_infrastructure_colocated(self):
+        factory, rng = self._factory(seed=3)
+        spec = CampaignSpec(n_hosts=2, n_delivery=4, n_cc=2)
+        campaign = factory.create(5, self._hosts(rng), spec)
+        ips = list(campaign.domain_ips.values())
+        shared_16 = sum(
+            1 for ip in ips[1:] if same_subnet(ips[0], ip, 16)
+        )
+        assert shared_16 == len(ips) - 1  # all in the attacker /16
+
+    def test_attacker_registration_young(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec()
+        campaign = factory.create(10, self._hosts(rng), spec)
+        for domain in campaign.domains:
+            record = factory.whois.lookup(domain)
+            assert record is not None
+            age = record.age_days(10 * 86_400.0)
+            assert 0 < age <= 31
+
+    def test_unregistered_rate(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec(n_delivery=10, unregistered_rate=1.0)
+        campaign = factory.create(5, self._hosts(rng), spec)
+        assert all(factory.whois.lookup(d) is None for d in campaign.domains)
+
+    def test_beacon_visits_periodic(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec(n_hosts=1, beacon_period=600.0, beacon_jitter=0.0)
+        campaign = factory.create(2, self._hosts(rng), spec)
+        visits = factory.day_visits(campaign, 2)
+        cc = campaign.cc_domains[0]
+        times = sorted(v.timestamp for v in visits if v.domain == cc)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps and all(abs(g - 600.0) < 1e-6 for g in gaps)
+
+    def test_inactive_day_produces_nothing(self):
+        factory, rng = self._factory()
+        campaign = factory.create(5, self._hosts(rng), CampaignSpec(duration_days=1))
+        assert factory.day_visits(campaign, 7) == []
+
+    def test_multi_day_campaign_beacons_on_later_days(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec(duration_days=3)
+        campaign = factory.create(5, self._hosts(rng), spec)
+        later = factory.day_visits(campaign, 6)
+        assert later
+        assert all(v.domain in campaign.cc_domains for v in later)
+
+    def test_delivery_chain_tight_timing(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec(n_hosts=1, n_delivery=3)
+        campaign = factory.create(2, self._hosts(rng), spec)
+        visits = factory.day_visits(campaign, 2)
+        delivery_times = sorted(
+            v.timestamp for v in visits if v.domain in campaign.delivery_domains
+        )
+        assert delivery_times[-1] - delivery_times[0] < 600.0
+
+    def test_dga_cluster_minted(self):
+        factory, rng = self._factory()
+        spec = CampaignSpec(dga_style="short_info", dga_cluster=10)
+        campaign = factory.create(3, self._hosts(rng), spec)
+        assert len(campaign.dga_domains) == 10
+        assert all(d.endswith(".info") for d in campaign.dga_domains)

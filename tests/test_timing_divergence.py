@@ -1,0 +1,95 @@
+"""Unit tests for Jeffrey divergence and the periodic reference."""
+
+import math
+
+import pytest
+
+from repro.timing import (
+    build_histogram,
+    divergence_from_periodic,
+    jeffrey_divergence,
+    l1_distance,
+    periodic_reference,
+)
+
+
+def hist(values, width=10.0):
+    return build_histogram(values, bin_width=width)
+
+
+class TestPeriodicReference:
+    def test_all_mass_on_dominant_hub(self):
+        h = hist([600.0, 600.0, 600.0, 30.0])
+        ref = periodic_reference(h)
+        assert ref == {600.0: 1.0}
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_reference(hist([]))
+
+
+class TestJeffreyDivergence:
+    def test_identical_is_zero(self):
+        h = hist([600.0] * 5)
+        assert jeffrey_divergence(h, periodic_reference(h)) == pytest.approx(0.0)
+
+    def test_bounded_by_2_log_2(self):
+        h = hist([1.0, 100.0, 200.0, 300.0, 400.0], width=5.0)
+        d = jeffrey_divergence(h, {999.0: 1.0})
+        assert d <= 2 * math.log(2) + 1e-9
+
+    def test_symmetric_in_structure(self):
+        # Two-bin histogram vs single-bin reference must equal the
+        # closed form: f log(2f/(f+1)) + log(2/(f+1)) + (1-f) log 2.
+        h = hist([600.0, 600.0, 600.0, 50.0])
+        f = 0.75
+        expected = (
+            f * math.log(2 * f / (f + 1))
+            + math.log(2 / (f + 1))
+            + (1 - f) * math.log(2)
+        )
+        assert jeffrey_divergence(h, periodic_reference(h)) == pytest.approx(expected)
+
+    def test_more_concentrated_is_closer(self):
+        concentrated = hist([600.0] * 9 + [50.0])
+        spread = hist([600.0] * 5 + [50.0] * 5)
+        d_c = divergence_from_periodic(concentrated)
+        d_s = divergence_from_periodic(spread)
+        assert d_c < d_s
+
+    def test_non_negative(self):
+        h = hist([10.0, 400.0, 800.0], width=5.0)
+        assert divergence_from_periodic(h) >= 0.0
+
+
+class TestL1Distance:
+    def test_identical_is_zero(self):
+        h = hist([600.0] * 4)
+        assert l1_distance(h, periodic_reference(h)) == 0.0
+
+    def test_l1_closed_form(self):
+        h = hist([600.0, 600.0, 600.0, 50.0])
+        # |0.75 - 1| + |0.25 - 0| = 0.5
+        assert l1_distance(h, periodic_reference(h)) == pytest.approx(0.5)
+
+    def test_metric_selector(self):
+        h = hist([600.0, 600.0, 50.0])
+        assert divergence_from_periodic(h, metric="l1") == pytest.approx(
+            l1_distance(h, periodic_reference(h))
+        )
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            divergence_from_periodic(hist([1.0]), metric="chi2")
+
+    def test_jeffrey_and_l1_agree_on_ordering(self):
+        """The paper found both metrics "very similar" -- orderings match."""
+        series = [
+            hist([600.0] * 9 + [50.0]),
+            hist([600.0] * 7 + [50.0] * 3),
+            hist([600.0] * 5 + [50.0] * 5),
+        ]
+        jeffreys = [divergence_from_periodic(h) for h in series]
+        l1s = [divergence_from_periodic(h, metric="l1") for h in series]
+        assert jeffreys == sorted(jeffreys)
+        assert l1s == sorted(l1s)
