@@ -1,0 +1,161 @@
+"""Streaming engine throughput: events/sec and per-event latency vs batch.
+
+Not a paper figure -- this bench characterizes the PR's streaming
+subsystem against the batch runner it must stay faithful to.  At three
+world scales it measures:
+
+* batch: one bulk ``DnsLogRunner``-style pass over a day (aggregate,
+  rare extraction, automation test, belief propagation);
+* streaming: the same day consumed in micro-batches with a scoring
+  round per batch (the minutes-not-hours operating point).
+
+Batch amortizes everything over one pass, so raw events/sec favors it;
+the streaming column buys bounded detection latency, and the `detect
+parity` column shows it costs nothing in outcome.  Results go to
+``benchmarks/out/streaming_throughput.json`` (plus the usual rendered
+table) for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import OUT_DIR, save_output
+
+from repro.eval import render_table
+from repro.logs.normalize import normalize_dns_records
+from repro.logs.reduction import ReductionFunnel
+from repro.profiling.history import DestinationHistory
+from repro.profiling.rare import DailyTraffic, extract_rare_domains
+from repro.runner import detect_on_traffic
+from repro.streaming import StreamingDetector, micro_batches
+from repro.synthetic import generate_lanl_dataset
+from repro.synthetic.lanl import LanlConfig
+
+SCALES = (
+    ("small", LanlConfig(seed=7, n_hosts=40, bootstrap_days=2)),
+    ("medium", LanlConfig(seed=7, n_hosts=100, bootstrap_days=2)),
+    ("large", LanlConfig(seed=7, n_hosts=220, bootstrap_days=2,
+                         browsing_visits_per_host=9)),
+)
+MICRO_BATCH = 500
+
+
+def _bootstrap(dataset) -> StreamingDetector:
+    detector = StreamingDetector(
+        internal_suffixes=dataset.internal_suffixes,
+        server_ips=dataset.server_ips,
+    )
+    detector.submit_raw(dataset.day_records(1))
+    detector.poll()
+    detector.rollover(detect=False)
+    return detector
+
+
+def _batch_day(dataset, history: DestinationHistory, records) -> tuple[float, set]:
+    """One bulk pass, timed: reduce, aggregate, detect."""
+    detector = StreamingDetector(
+        internal_suffixes=dataset.internal_suffixes,
+        server_ips=dataset.server_ips,
+    )
+    start = time.perf_counter()
+    funnel = ReductionFunnel(
+        dataset.internal_suffixes, dataset.server_ips, fold_level=3
+    )
+    connections = list(
+        normalize_dns_records(funnel.reduce(records), fold_level=3)
+    )
+    traffic = DailyTraffic(1)
+    traffic.ingest(connections)
+    traffic.finalize()
+    rare = extract_rare_domains(traffic, history, unpopular_max_hosts=10)
+    detection = detect_on_traffic(
+        traffic, rare,
+        automation=detector.automation,
+        scorer=detector.scorer,
+        config=detector.config,
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, set(detection.detected), len(connections)
+
+
+def test_streaming_throughput():
+    rows = []
+    results = []
+    for name, config in SCALES:
+        dataset = generate_lanl_dataset(config)
+        records = dataset.day_records(2)
+
+        # Batch reference (history bootstrapped identically).
+        batch_detector = _bootstrap(dataset)
+        batch_elapsed, batch_detected, n_events = _batch_day(
+            dataset, batch_detector.history, records
+        )
+
+        # Streaming: micro-batches with a scoring round per batch.
+        detector = _bootstrap(dataset)
+        latencies = []
+        start = time.perf_counter()
+        streamed = 0
+        for batch in micro_batches(
+            normalize_dns_records(
+                detector.funnel.reduce(iter(records)), fold_level=3
+            ),
+            MICRO_BATCH,
+        ):
+            t0 = time.perf_counter()
+            detector.submit(batch)
+            detector.poll()
+            detector.score()
+            latencies.append((time.perf_counter() - t0) / len(batch))
+            streamed += len(batch)
+        report = detector.rollover()
+        stream_elapsed = time.perf_counter() - start
+
+        assert streamed == n_events
+        parity = set(report.detected) == batch_detected
+        assert parity, (report.detected, batch_detected)
+
+        latencies.sort()
+        p50 = latencies[len(latencies) // 2] * 1e6
+        p99 = latencies[min(len(latencies) - 1,
+                            int(len(latencies) * 0.99))] * 1e6
+        batch_eps = n_events / batch_elapsed
+        stream_eps = n_events / stream_elapsed
+        rows.append((
+            name, n_events,
+            f"{batch_eps:,.0f}", f"{stream_eps:,.0f}",
+            f"{p50:.1f}", f"{p99:.1f}",
+            "yes" if parity else "NO",
+        ))
+        results.append({
+            "scale": name,
+            "hosts": config.n_hosts,
+            "events": n_events,
+            "micro_batch": MICRO_BATCH,
+            "batch_events_per_sec": batch_eps,
+            "stream_events_per_sec": stream_eps,
+            "stream_event_latency_p50_us": p50,
+            "stream_event_latency_p99_us": p99,
+            "batch_elapsed_sec": batch_elapsed,
+            "stream_elapsed_sec": stream_elapsed,
+            "detect_parity": parity,
+        })
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "streaming_throughput.json").write_text(
+        json.dumps(results, indent=1) + "\n"
+    )
+    save_output(
+        "streaming_throughput",
+        render_table(
+            ("scale", "events", "batch ev/s", "stream ev/s",
+             "lat p50 us", "lat p99 us", "detect parity"),
+            rows,
+            title=(
+                "Streaming engine vs batch pass (one operational day, "
+                f"micro-batch={MICRO_BATCH}, scoring round per batch)"
+            ),
+        ),
+    )

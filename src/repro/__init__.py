@@ -18,6 +18,10 @@ Public API overview
   enterprise (AC) datasets, including attack campaigns.
 * :mod:`repro.eval` -- metrics and the harnesses regenerating every
   table and figure of the paper.
+* :mod:`repro.streaming` -- the online engine: host-sharded event
+  ingestion, incrementally maintained daily windows, warm-start belief
+  propagation and a checkpointable :class:`~repro.streaming.StreamingDetector`
+  whose end-of-day detections are batch-identical by construction.
 
 Quickstart::
 
@@ -44,7 +48,13 @@ from .core import (
     belief_propagation,
 )
 from .runner import DnsLogRunner, run_directory
-from .state import load_detector, save_detector
+from .state import (
+    load_detector,
+    load_streaming,
+    save_detector,
+    save_streaming,
+)
+from .streaming import StreamingDetector, replay_directory
 
 __version__ = "1.0.0"
 
@@ -60,7 +70,11 @@ __all__ = [
     "belief_propagation",
     "DnsLogRunner",
     "run_directory",
+    "StreamingDetector",
+    "replay_directory",
     "load_detector",
     "save_detector",
+    "load_streaming",
+    "save_streaming",
     "__version__",
 ]

@@ -1,11 +1,17 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the workflows a downstream user needs::
+The subcommands cover the workflows a downstream user needs::
 
     repro-detect lanl        # solve the LANL challenge, print Table III
     repro-detect enterprise  # train + sweep the enterprise pipeline
     repro-detect generate    # write synthetic logs to disk
+    repro-detect run         # batch detection over a log directory
+    repro-detect stream      # replay a log directory as an event stream
     repro-detect timing      # test one timestamp series for automation
+
+``stream`` drives the online engine (:mod:`repro.streaming`): events
+are consumed in micro-batches with intra-day scoring, optional
+checkpointing (``--checkpoint``), and crash recovery (``--resume``).
 
 All commands are seeded and offline; see ``--help`` of each subcommand.
 """
@@ -75,6 +81,58 @@ def _add_run_parser(subparsers) -> None:
     )
 
 
+def _add_stream_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stream",
+        help="replay a directory of daily DNS log files as an event "
+             "stream through the online detection engine",
+    )
+    parser.add_argument("directory", type=Path)
+    parser.add_argument(
+        "--bootstrap-files", type=int, default=2,
+        help="leading files used to build the destination history",
+    )
+    parser.add_argument("--pattern", default="dns-*.log")
+    parser.add_argument(
+        "--internal-suffix", action="append", default=[],
+        help="internal namespace suffix to filter (repeatable)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=500,
+        help="events per micro-batch",
+    )
+    parser.add_argument(
+        "--score-every", type=int, default=1,
+        help="run a scoring round every N micro-batches",
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="persist engine state to this JSON file while streaming",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="checkpoint every N micro-batches",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore from --checkpoint and continue where it left off "
+             "(detection config and filters come from the checkpoint)",
+    )
+    parser.add_argument(
+        "--max-batches", type=int, default=None,
+        help="stop after N micro-batches (for testing restarts); "
+             "exits with status 3 when interrupted",
+    )
+    parser.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable warm-start belief propagation (always cold)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print every intra-day scoring update, not just day reports",
+    )
+
+
 def _add_timing_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "timing",
@@ -100,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_enterprise_parser(subparsers)
     _add_generate_parser(subparsers)
     _add_run_parser(subparsers)
+    _add_stream_parser(subparsers)
     _add_timing_parser(subparsers)
     return parser
 
@@ -228,6 +287,53 @@ def _run_run(args) -> int:
     return 0
 
 
+def _run_stream(args) -> int:
+    from .eval.clusters import triage_report
+    from .streaming import WarmStartConfig, replay_directory
+
+    def on_update(update) -> None:
+        if args.verbose and update.detected:
+            print(
+                f"  [day {update.day} +{update.events_today} ev] "
+                f"{update.mode}: detected={list(update.detected)}"
+            )
+
+    result = replay_directory(
+        args.directory,
+        bootstrap_files=args.bootstrap_files,
+        pattern=args.pattern,
+        internal_suffixes=tuple(args.internal_suffix),
+        batch_size=args.batch_size,
+        score_every=args.score_every,
+        warm=WarmStartConfig(enabled=not args.no_warm_start),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_batches=args.max_batches,
+        on_update=on_update,
+    )
+    all_detected: set[str] = set()
+    for report in result.reports:
+        print(
+            f"day {report.day}: {report.records} records, "
+            f"{len(report.rare_domains)} rare, "
+            f"C&C={sorted(report.cc_domains) or '-'}, "
+            f"detected={report.detected or '-'}"
+        )
+        all_detected.update(report.detected)
+    if result.interrupted:
+        print(
+            f"interrupted after {result.batches} micro-batches"
+            + (f"; resume with --resume --checkpoint {args.checkpoint}"
+               if args.checkpoint else "")
+        )
+        return 3
+    if all_detected:
+        print()
+        print(triage_report(all_detected))
+    return 0
+
+
 def _run_timing(args) -> int:
     from .config import HistogramConfig
     from .timing import AutomationDetector
@@ -262,6 +368,7 @@ def main(argv: list[str] | None = None) -> int:
         "enterprise": _run_enterprise,
         "generate": _run_generate,
         "run": _run_run,
+        "stream": _run_stream,
         "timing": _run_timing,
     }
     return handlers[args.command](args)

@@ -82,6 +82,13 @@ class BeliefPropagationResult:
         return len(self.trace)
 
 
+_PRIOR_LABELS = {
+    "seed": Label.SEED,
+    "cc": Label.CC_DETECTED,
+    "similarity": Label.SIMILARITY,
+}
+
+
 def belief_propagation(
     seed_hosts: Set[str],
     seed_domains: Set[str],
@@ -91,24 +98,59 @@ def belief_propagation(
     detect_cc: DetectCC,
     similarity_score: SimilarityScore,
     config: BeliefPropagationConfig | None = None,
+    prior: "BeliefPropagationResult | None" = None,
 ) -> BeliefPropagationResult:
     """Run Algorithm 1.
 
     ``dom_host`` maps a domain to the hosts contacting it and
     ``host_rdom`` maps a host to the rare domains it visited -- the two
     precomputed maps named in the paper's pseudocode.
+
+    ``prior`` warm-starts the run from an earlier round's result: its
+    hosts and domains enter ``H`` and ``M`` as already-labeled beliefs
+    (keeping their original reasons and scores in the output), so only
+    *new* evidence needs propagating.  Because the algorithm is
+    monotone -- labels are only ever added -- warm-starting from the
+    previous round's fixed point reaches the same final sets as a cold
+    run over the same graph whenever the scorers are themselves
+    monotone in the day's accumulating traffic, while spending
+    iterations only on newly labeled domains.
     """
     config = config or BeliefPropagationConfig()
     hosts: set[str] = set(seed_hosts)
     malicious: set[str] = set(seed_domains)
+    prior_detections: dict[str, Detection] = {}
+    contact_hosts: set[str] = set()
+    if prior is not None:
+        hosts.update(prior.hosts)
+        malicious.update(prior.domains)
+        prior_detections = {d.domain: d for d in prior.detections}
+        # Re-establish the fixed-point invariant H ⊇ hosts(M): edges may
+        # have landed on already-labeled domains since the prior round,
+        # and cold-start would have pulled those hosts in on expansion.
+        for domain in malicious:
+            contact_hosts.update(dom_host.get(domain, ()))
+        contact_hosts -= hosts
+        hosts.update(contact_hosts)
     graph = InfectionGraph()
     detections: list[Detection] = []
 
     for host in sorted(hosts):
-        graph.add_host(host, Label.SEED, iteration=0)
+        label = Label.CONTACT if host in contact_hosts else Label.SEED
+        graph.add_host(host, label, iteration=0)
     for domain in sorted(malicious):
-        graph.add_domain(domain, Label.SEED, iteration=0)
-        detections.append(Detection(domain, 0, "seed", 0.0))
+        carried = prior_detections.get(domain)
+        if carried is not None and domain not in seed_domains:
+            reason, score = carried.reason, carried.score
+        else:
+            reason, score = "seed", 0.0
+        graph.add_domain(
+            domain,
+            _PRIOR_LABELS.get(reason, Label.SEED),
+            iteration=0,
+            score=score,
+        )
+        detections.append(Detection(domain, 0, reason, score))
         for host in sorted(dom_host.get(domain, ())):
             if host in hosts:
                 graph.add_edge(host, domain)

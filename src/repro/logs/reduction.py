@@ -83,22 +83,33 @@ class ReductionFunnel:
         self.fold_level = fold_level
         self.stats = ReductionStats()
 
+    def reduce_record(self, record: DnsRecord) -> DnsRecord | None:
+        """Run one record through the filters; ``None`` when dropped.
+
+        This is the single-event path the streaming engine uses; the
+        accounting is identical to :meth:`reduce` so a replayed stream
+        produces the same Figure 2 funnel as a bulk pass.
+        """
+        day = int(record.timestamp // SECONDS_PER_DAY)
+        domain = fold_domain(record.domain, self.fold_level)
+        self.stats.observe("all", day, domain)
+        if not is_a_record(record):
+            return None
+        self.stats.observe("a_records", day, domain)
+        if not is_external_query(record, self.internal_suffixes):
+            return None
+        self.stats.observe("filter_internal_queries", day, domain)
+        if not is_from_client(record, self.server_ips):
+            return None
+        self.stats.observe("filter_internal_servers", day, domain)
+        return record
+
     def reduce(self, records: Iterable[DnsRecord]) -> Iterator[DnsRecord]:
         """Yield records surviving all filters, updating the counters."""
         for record in records:
-            day = int(record.timestamp // SECONDS_PER_DAY)
-            domain = fold_domain(record.domain, self.fold_level)
-            self.stats.observe("all", day, domain)
-            if not is_a_record(record):
-                continue
-            self.stats.observe("a_records", day, domain)
-            if not is_external_query(record, self.internal_suffixes):
-                continue
-            self.stats.observe("filter_internal_queries", day, domain)
-            if not is_from_client(record, self.server_ips):
-                continue
-            self.stats.observe("filter_internal_servers", day, domain)
-            yield record
+            kept = self.reduce_record(record)
+            if kept is not None:
+                yield kept
 
     def observe_profiling_step(self, step: str, day: int, domains: Iterable[str]) -> None:
         """Record domains surviving a downstream profiling step.

@@ -45,7 +45,7 @@ class DailyTraffic:
         self.no_referer_hosts: dict[str, set[str]] = defaultdict(set)
         self.rare_ua_hosts: dict[str, set[str]] = defaultdict(set)
         self.resolved_ips: dict[str, set[str]] = defaultdict(set)
-        self._sorted = True
+        self._unsorted: set[tuple[str, str]] = set()
 
     def ingest(
         self,
@@ -64,6 +64,7 @@ class DailyTraffic:
             self.hosts_by_domain[conn.domain].add(conn.host)
             self.domains_by_host[conn.host].add(conn.domain)
             self.timestamps[(conn.host, conn.domain)].append(conn.timestamp)
+            self._unsorted.add((conn.host, conn.domain))
             if conn.resolved_ip:
                 self.resolved_ips[conn.domain].add(conn.resolved_ip)
             if conn.referer is not None and not conn.referer:
@@ -71,14 +72,17 @@ class DailyTraffic:
             if ua_is_rare is not None and conn.user_agent is not None:
                 if ua_is_rare(conn.user_agent):
                     self.rare_ua_hosts[conn.domain].add(conn.host)
-        self._sorted = False
 
     def finalize(self) -> None:
-        """Sort timestamp series; call once after all ingestion."""
-        if not self._sorted:
-            for series in self.timestamps.values():
-                series.sort()
-            self._sorted = True
+        """Sort timestamp series touched since the last call.
+
+        Only series with new appends are re-sorted, so interleaving
+        ingestion and queries -- the streaming engine's access pattern
+        -- costs O(touched) rather than O(all series) per round.
+        """
+        for pair in self._unsorted:
+            self.timestamps[pair].sort()
+        self._unsorted.clear()
 
     def domain_popularity(self, domain: str) -> int:
         return len(self.hosts_by_domain.get(domain, ()))
@@ -115,3 +119,55 @@ def rare_domains_by_host(
         for host in traffic.hosts_by_domain.get(domain, ()):
             by_host[host].add(domain)
     return dict(by_host)
+
+
+class RareDomainTracker:
+    """Incrementally maintained rare set for one day of traffic.
+
+    :func:`extract_rare_domains` rescans every domain of the day; at
+    streaming rates that is O(domains) per micro-batch.  The tracker
+    instead reacts to popularity changes: a domain enters the rare set
+    on its first contact of the day (if absent from the history) and
+    leaves it for good once ``unpopular_max_hosts`` distinct hosts have
+    contacted it.  The invariant, checked by the parity tests, is that
+    :attr:`rare` always equals ``extract_rare_domains`` on the same
+    traffic and history.
+    """
+
+    def __init__(
+        self,
+        history: DestinationHistory,
+        *,
+        unpopular_max_hosts: int = 10,
+    ) -> None:
+        self.history = history
+        self.unpopular_max_hosts = unpopular_max_hosts
+        self.rare: set[str] = set()
+
+    def update(self, domain: str, popularity: int) -> int:
+        """React to ``domain`` now having ``popularity`` distinct hosts.
+
+        Returns +1 when the domain entered the rare set, -1 when it
+        left, 0 when nothing changed.
+        """
+        if popularity < self.unpopular_max_hosts and self.history.is_new(domain):
+            if domain not in self.rare:
+                self.rare.add(domain)
+                return +1
+        elif domain in self.rare:
+            self.rare.discard(domain)
+            return -1
+        return 0
+
+    def resync(self, traffic: DailyTraffic) -> set[str]:
+        """Rebuild the rare set from scratch (checkpoint restore)."""
+        self.rare = extract_rare_domains(
+            traffic,
+            self.history,
+            unpopular_max_hosts=self.unpopular_max_hosts,
+        )
+        return self.rare
+
+    def reset(self) -> None:
+        """Clear for a new day (after the history committed)."""
+        self.rare.clear()

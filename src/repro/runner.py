@@ -45,6 +45,71 @@ class RunnerDayReport:
 
 
 @dataclass
+class DayDetection:
+    """Output of one end-of-day detection pass over a traffic aggregate."""
+
+    cc_domains: set[str]
+    detected: list[str]
+    bp_result: BeliefPropagationResult | None
+
+
+def detect_on_traffic(
+    traffic: DailyTraffic,
+    rare: set[str],
+    *,
+    automation: AutomationDetector,
+    scorer: AdditiveSimilarityScorer,
+    config: SystemConfig,
+    hint_hosts: Sequence[str] = (),
+) -> DayDetection:
+    """The DNS-path daily detection stages on one day of traffic.
+
+    This is the single implementation both the batch
+    :class:`DnsLogRunner` and the streaming engine
+    (:class:`repro.streaming.StreamingDetector`) run at end of day, so
+    streaming replay is batch-identical by construction: automation
+    test over rare (host, domain) series, the multi-host beaconing C&C
+    heuristic, then belief propagation seeded by C&C hits (no-hint
+    mode) or by SOC hint hosts.
+    """
+    series = [
+        (key, times)
+        for key, times in sorted(traffic.timestamps.items())
+        if key[1] in rare
+    ]
+    verdicts = automation.automated_pairs(series)
+    cc = {
+        domain for domain in {v.domain for v in verdicts}
+        if multi_host_beacon_heuristic(domain, verdicts, traffic)
+    }
+
+    seed_hosts: set[str] = set(hint_hosts)
+    seed_domains: set[str] = set()
+    if not seed_hosts:
+        seed_domains = set(cc)
+        for domain in cc:
+            seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+
+    bp_result = None
+    detected: list[str] = []
+    if seed_hosts:
+        bp_result = belief_propagation(
+            seed_hosts,
+            seed_domains,
+            dom_host={
+                d: frozenset(traffic.hosts_by_domain.get(d, ()))
+                for d in rare
+            },
+            host_rdom=rare_domains_by_host(traffic, rare),
+            detect_cc=lambda dom: dom in cc,
+            similarity_score=lambda dom, mal: scorer.score(dom, mal, traffic),
+            config=config.belief_propagation,
+        )
+        detected = sorted(seed_domains) + bp_result.detected_domains
+    return DayDetection(cc_domains=cc, detected=detected, bp_result=bp_result)
+
+
+@dataclass
 class DnsLogRunner:
     """Stateful daily runner over on-disk DNS log files.
 
@@ -111,52 +176,22 @@ class DnsLogRunner:
         """Detect on one operational day's log file."""
         path = Path(path)
         traffic, rare, record_count = self._read_day(path)
-
-        series = [
-            (key, times)
-            for key, times in sorted(traffic.timestamps.items())
-            if key[1] in rare
-        ]
-        verdicts = self.automation.automated_pairs(series)
-        cc = {
-            domain for domain in {v.domain for v in verdicts}
-            if multi_host_beacon_heuristic(domain, verdicts, traffic)
-        }
-
-        seed_hosts: set[str] = set(hint_hosts)
-        seed_domains: set[str] = set()
-        if not seed_hosts:
-            seed_domains = set(cc)
-            for domain in cc:
-                seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
-
-        bp_result = None
-        detected: list[str] = []
-        if seed_hosts:
-            bp_result = belief_propagation(
-                seed_hosts,
-                seed_domains,
-                dom_host={
-                    d: frozenset(traffic.hosts_by_domain.get(d, ()))
-                    for d in rare
-                },
-                host_rdom=rare_domains_by_host(traffic, rare),
-                detect_cc=lambda dom: dom in cc,
-                similarity_score=lambda dom, mal: self.scorer.score(
-                    dom, mal, traffic
-                ),
-                config=self.config.belief_propagation,
-            )
-            detected = sorted(seed_domains) + bp_result.detected_domains
-
+        detection = detect_on_traffic(
+            traffic,
+            rare,
+            automation=self.automation,
+            scorer=self.scorer,
+            config=self.config,
+            hint_hosts=hint_hosts,
+        )
         report = RunnerDayReport(
             path=path,
             day=self._day_counter,
             records=record_count,
             rare_domains=rare,
-            cc_domains=cc,
-            detected=detected,
-            bp_result=bp_result,
+            cc_domains=detection.cc_domains,
+            detected=detection.detected,
+            bp_result=detection.bp_result,
         )
         self._commit(traffic)
         return report

@@ -15,6 +15,7 @@ a restored detector must be re-attached to its registry.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -194,6 +195,200 @@ def restore_detector(
             decode_model(payload["similarity_model"]), detector.extractor
         )
     return detector
+
+
+# ---------------------------------------------------------------------------
+# Streaming checkpoint (mid-day window state)
+# ---------------------------------------------------------------------------
+
+def encode_ua_pending(history: UserAgentHistory) -> dict[str, Any]:
+    """Same-day staged UA observations (not yet committed)."""
+    return {ua: sorted(hosts) for ua, hosts in history._pending.items()}
+
+
+def decode_ua_pending(history: UserAgentHistory, payload: dict[str, Any]) -> None:
+    for ua, hosts in payload.items():
+        history._pending.setdefault(ua, set()).update(hosts)
+
+
+def encode_bp_result(result) -> dict[str, Any]:
+    """Belief-propagation beliefs for warm restart (graph/trace dropped)."""
+    return {
+        "hosts": sorted(result.hosts),
+        "domains": sorted(result.domains),
+        "detections": [
+            [d.domain, d.iteration, d.reason, d.score] for d in result.detections
+        ],
+    }
+
+
+def decode_bp_result(payload: dict[str, Any]):
+    from .core.beliefprop import BeliefPropagationResult, Detection
+
+    return BeliefPropagationResult(
+        hosts=set(payload["hosts"]),
+        domains=set(payload["domains"]),
+        detections=[
+            Detection(str(dom), int(it), str(reason), float(score))
+            for dom, it, reason, score in payload["detections"]
+        ],
+        trace=[],
+    )
+
+
+def encode_window(window) -> dict[str, Any]:
+    """The mid-day traffic window: every index needed to resume.
+
+    The rare set, the incremental graph and the verdict cache are all
+    derived state, recomputed on restore by
+    :meth:`repro.streaming.StreamingDetector.resync`.
+    """
+    traffic = window.traffic
+    traffic.finalize()
+    return {
+        "day": window.day,
+        "events_today": window.events_today,
+        "series": [
+            [host, domain, times]
+            for (host, domain), times in sorted(traffic.timestamps.items())
+        ],
+        "resolved_ips": {
+            domain: sorted(ips) for domain, ips in traffic.resolved_ips.items()
+        },
+        "no_referer_hosts": {
+            domain: sorted(hosts)
+            for domain, hosts in traffic.no_referer_hosts.items()
+        },
+        "rare_ua_hosts": {
+            domain: sorted(hosts)
+            for domain, hosts in traffic.rare_ua_hosts.items()
+        },
+    }
+
+
+def decode_window(window, payload: dict[str, Any]) -> None:
+    """Refill a fresh :class:`WindowedAggregator` from its snapshot."""
+    window.day = int(payload["day"])
+    window.events_today = int(payload["events_today"])
+    traffic = window.traffic
+    traffic.day = window.day
+    for host, domain, times in payload["series"]:
+        traffic.timestamps[(host, domain)] = [float(t) for t in times]
+        traffic.hosts_by_domain[domain].add(host)
+        traffic.domains_by_host[host].add(domain)
+    for domain, ips in payload["resolved_ips"].items():
+        traffic.resolved_ips[domain] = set(ips)
+    for domain, hosts in payload["no_referer_hosts"].items():
+        traffic.no_referer_hosts[domain] = set(hosts)
+    for domain, hosts in payload["rare_ua_hosts"].items():
+        traffic.rare_ua_hosts[domain] = set(hosts)
+
+
+def streaming_state(detector) -> dict[str, Any]:
+    """Full JSON-serializable snapshot of a streaming detector.
+
+    Extends the version-1 detector document with the ``"streaming"``
+    kind: long-lived histories plus the in-flight day window and the
+    previous belief-propagation round, so a restore resumes mid-day
+    with warm-start intact.  The reduction funnel's Figure 2 counters
+    are observability, not detection state, and are not snapshotted.
+
+    Events still queued on the bus are not part of the snapshot;
+    callers must drain them (:meth:`StreamingDetector.poll`) first or
+    they would be lost across a restore.
+    """
+    if len(detector.bus) > 0:
+        raise StateError(
+            f"{len(detector.bus)} events still queued on the event bus; "
+            "call poll() before snapshotting"
+        )
+    return {
+        "version": STATE_VERSION,
+        "kind": "streaming",
+        "config": encode_config(detector.config),
+        "internal_suffixes": list(detector.internal_suffixes),
+        "server_ips": sorted(detector.server_ips),
+        "history": encode_history(detector.history),
+        "ua_history": (
+            encode_ua_history(detector.window.ua_history)
+            if detector.window.ua_history is not None else None
+        ),
+        "ua_pending": (
+            encode_ua_pending(detector.window.ua_history)
+            if detector.window.ua_history is not None else None
+        ),
+        "window": encode_window(detector.window),
+        "prior": (
+            encode_bp_result(detector.prior)
+            if detector.prior is not None else None
+        ),
+        "events_total": detector.events_total,
+        "warm": {
+            "enabled": detector.warm.enabled,
+            "full_recompute_fraction": detector.warm.full_recompute_fraction,
+        },
+    }
+
+
+def restore_streaming(payload: dict[str, Any]):
+    """Rebuild a :class:`~repro.streaming.StreamingDetector` snapshot."""
+    from .streaming import StreamingDetector, WarmStartConfig
+
+    version = payload.get("version")
+    if version != STATE_VERSION:
+        raise StateError(f"unsupported state version {version!r}")
+    if payload.get("kind") != "streaming":
+        raise StateError(
+            f"not a streaming checkpoint (kind={payload.get('kind')!r})"
+        )
+    ua_history = None
+    if payload["ua_history"] is not None:
+        ua_history = decode_ua_history(payload["ua_history"])
+        if payload.get("ua_pending"):
+            decode_ua_pending(ua_history, payload["ua_pending"])
+    detector = StreamingDetector(
+        config=decode_config(payload["config"]),
+        internal_suffixes=tuple(payload["internal_suffixes"]),
+        server_ips=frozenset(payload["server_ips"]),
+        history=decode_history(payload["history"]),
+        ua_history=ua_history,
+        warm=WarmStartConfig(
+            enabled=bool(payload["warm"]["enabled"]),
+            full_recompute_fraction=float(
+                payload["warm"]["full_recompute_fraction"]
+            ),
+        ),
+    )
+    decode_window(detector.window, payload["window"])
+    if payload["prior"] is not None:
+        detector.prior = decode_bp_result(payload["prior"])
+    detector.events_total = int(payload["events_total"])
+    detector.resync()
+    return detector
+
+
+def save_streaming(detector, path: str | Path) -> None:
+    """Write a streaming detector's checkpoint to ``path`` as JSON.
+
+    The write is atomic (temp file + rename): checkpoints are written
+    continuously while streaming, and a crash mid-write must never
+    destroy the previous good checkpoint -- that file is exactly what
+    ``--resume`` needs afterwards.
+    """
+    path = Path(path)
+    payload = json.dumps(streaming_state(detector))
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload)
+    os.replace(tmp, path)
+
+
+def load_streaming(path: str | Path):
+    """Restore a checkpoint previously saved with :func:`save_streaming`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise StateError(f"corrupt state file {path}: {exc}") from exc
+    return restore_streaming(payload)
 
 
 def save_detector(detector: EnterpriseDetector, path: str | Path) -> None:

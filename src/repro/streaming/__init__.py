@@ -1,0 +1,50 @@
+"""Streaming detection engine: the batch pipeline turned online.
+
+The subsystem layers four pieces on top of the unchanged batch
+components (Section III's pipeline, Algorithm 1's belief propagation):
+
+* :mod:`~repro.streaming.events` -- host-sharded :class:`EventBus`
+  ingestion and incremental reduction/normalization;
+* :mod:`~repro.streaming.window` -- :class:`WindowedAggregator`, the
+  current day's profiles maintained per micro-batch with end-of-day
+  rollover into the long-lived histories;
+* :mod:`~repro.streaming.incremental` -- :class:`IncrementalGraph` and
+  warm-start belief propagation reusing the previous round's beliefs;
+* :mod:`~repro.streaming.detector` -- the :class:`StreamingDetector`
+  facade with checkpoint/restore and directory replay.
+
+The engine's invariant: replaying a day's events produces the same
+end-of-day detections as the batch :class:`~repro.runner.DnsLogRunner`
+over the same records.
+"""
+
+from .detector import (
+    ReplayResult,
+    StreamDayReport,
+    StreamingDetector,
+    StreamUpdate,
+    replay_directory,
+)
+from .events import EventBus, dns_connection_stream, micro_batches, shard_of
+from .incremental import (
+    IncrementalGraph,
+    WarmStartConfig,
+    warm_start_belief_propagation,
+)
+from .window import WindowedAggregator
+
+__all__ = [
+    "EventBus",
+    "IncrementalGraph",
+    "ReplayResult",
+    "StreamDayReport",
+    "StreamUpdate",
+    "StreamingDetector",
+    "WarmStartConfig",
+    "WindowedAggregator",
+    "dns_connection_stream",
+    "micro_batches",
+    "replay_directory",
+    "shard_of",
+    "warm_start_belief_propagation",
+]

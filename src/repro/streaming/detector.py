@@ -1,0 +1,468 @@
+"""Streaming detection facade: the batch detector turned online.
+
+:class:`StreamingDetector` accepts DNS events one at a time or in
+micro-batches and keeps a continuously updated view of the current
+day's detections, minutes after the evidence arrives instead of at
+end-of-day batch close.  It composes the streaming substrates --
+:class:`~repro.streaming.events.EventBus`,
+:class:`~repro.streaming.window.WindowedAggregator`,
+:class:`~repro.streaming.incremental.IncrementalGraph` -- on top of the
+*unchanged* batch components (reduction funnel, automation detector,
+additive scorer, belief propagation).
+
+**Batch-parity guarantee.**  At a day boundary, :meth:`rollover` runs
+:func:`repro.runner.detect_on_traffic` -- the very routine
+:class:`~repro.runner.DnsLogRunner` runs -- over the accumulated
+window, whose indexes are identical to a bulk aggregation of the same
+records.  Replaying a day through the streaming engine therefore
+yields exactly the batch pipeline's end-of-day detections; the
+intra-day :meth:`score` updates are strictly additional visibility.
+
+Mid-day costs stay proportional to what changed: automation verdicts
+are cached per (host, domain) series and recomputed only for pairs
+with new events, and belief propagation warm-starts from the previous
+round's beliefs unless too much of the graph is dirty.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..config import LANL_CONFIG, SystemConfig
+from ..core.beliefprop import BeliefPropagationResult
+from ..core.scoring import AdditiveSimilarityScorer, multi_host_beacon_heuristic
+from ..logs.dns import parse_dns_log
+from ..logs.records import Connection, DnsRecord
+from ..logs.reduction import ReductionFunnel
+from ..profiling.history import DestinationHistory
+from ..profiling.rare import extract_rare_domains
+from ..profiling.ua import UserAgentHistory
+from ..runner import detect_on_traffic
+from ..timing.detector import AutomationDetector, AutomationVerdict
+from .events import EventBus, dns_connection_stream, micro_batches
+from .incremental import (
+    IncrementalGraph,
+    WarmStartConfig,
+    warm_start_belief_propagation,
+)
+from .window import WindowedAggregator
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """Snapshot of the current day's detections after a scoring round."""
+
+    day: int
+    events_today: int
+    rare_count: int
+    cc_domains: frozenset[str]
+    detected: tuple[str, ...]
+    mode: str
+    """``"warm"``, ``"full"`` or ``"idle"`` (nothing to propagate)."""
+
+    bp_result: BeliefPropagationResult | None = None
+
+
+@dataclass
+class StreamDayReport:
+    """End-of-day report, shaped like the batch runner's.
+
+    ``records`` counts reduced connections (post-funnel), matching
+    :attr:`repro.runner.RunnerDayReport.records`.
+    """
+
+    day: int
+    records: int
+    rare_domains: set[str]
+    cc_domains: set[str]
+    detected: list[str]
+    bp_result: BeliefPropagationResult | None = None
+
+
+class StreamingDetector:
+    """Online DNS-path detector with checkpointable mid-day state."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        internal_suffixes: tuple[str, ...] = (),
+        server_ips: frozenset[str] = frozenset(),
+        *,
+        history: DestinationHistory | None = None,
+        ua_history: UserAgentHistory | None = None,
+        warm: WarmStartConfig | None = None,
+        n_shards: int = 4,
+    ) -> None:
+        self.config = config or LANL_CONFIG
+        self.internal_suffixes = internal_suffixes
+        self.server_ips = server_ips
+        self.history = history if history is not None else DestinationHistory()
+        self.funnel = ReductionFunnel(
+            internal_suffixes,
+            server_ips,
+            fold_level=self.config.rarity.fold_level,
+        )
+        self.automation = AutomationDetector(self.config.histogram)
+        self.scorer = AdditiveSimilarityScorer()
+        self.window = WindowedAggregator(
+            0,
+            self.history,
+            unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
+            ua_history=ua_history,
+        )
+        self.graph = IncrementalGraph()
+        self.bus = EventBus(n_shards)
+        self.warm = warm or WarmStartConfig()
+        self.prior: BeliefPropagationResult | None = None
+        self._verdicts: dict[tuple[str, str], AutomationVerdict] = {}
+        self._stale_pairs: set[tuple[str, str]] = set()
+        self.events_total = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def submit_raw(self, records: Iterable[DnsRecord]) -> int:
+        """Reduce + normalize raw DNS records onto the event bus."""
+        return self.bus.publish(
+            dns_connection_stream(
+                records, self.funnel, fold_level=self.config.rarity.fold_level
+            )
+        )
+
+    def submit(self, connections: Iterable[Connection]) -> int:
+        """Publish already-normalized connections onto the event bus."""
+        return self.bus.publish(connections)
+
+    def poll(self, max_events: int | None = None) -> int:
+        """Drain the bus into the window; returns events consumed."""
+        batch = self.bus.drain(max_events=max_events)
+        if batch:
+            self._ingest(batch)
+        return len(batch)
+
+    def ingest(self, connections: Iterable[Connection]) -> int:
+        """Synchronous convenience: publish one micro-batch and drain it."""
+        published = self.submit(connections)
+        self.poll()
+        return published
+
+    def _ingest(self, batch: Sequence[Connection]) -> None:
+        self.window.ingest(batch)
+        self.events_total += len(batch)
+        dirty_pairs, flips = self.window.drain_changes()
+        rare = self.window.rare
+        for domain in flips:
+            if domain in rare:
+                # Newly rare: materialize all of its edges so far.
+                for host in self.window.traffic.hosts_by_domain[domain]:
+                    self.graph.add_edge(host, domain)
+            else:
+                self.graph.remove_domain(domain)
+                for host in self.window.traffic.hosts_by_domain[domain]:
+                    self._verdicts.pop((host, domain), None)
+        for host, domain in dirty_pairs:
+            if domain in rare:
+                self.graph.add_edge(host, domain)
+        self._stale_pairs.update(dirty_pairs)
+
+    # ------------------------------------------------------------------
+    # Intra-day scoring
+    # ------------------------------------------------------------------
+
+    def _refresh_verdicts(self) -> list[AutomationVerdict]:
+        """Re-test only (host, domain) series with new events."""
+        self.window.traffic.finalize()
+        rare = self.window.rare
+        for pair in self._stale_pairs:
+            host, domain = pair
+            if domain not in rare:
+                self._verdicts.pop(pair, None)
+                continue
+            verdict = self.automation.test_series(
+                host, domain, self.window.traffic.timestamps.get(pair, [])
+            )
+            if verdict.automated:
+                self._verdicts[pair] = verdict
+            else:
+                self._verdicts.pop(pair, None)
+        self._stale_pairs.clear()
+        return [self._verdicts[pair] for pair in sorted(self._verdicts)]
+
+    def score(self, *, hint_hosts: Sequence[str] = ()) -> StreamUpdate:
+        """Re-score the current window and return the live detections.
+
+        The same four daily stages as the batch path -- automation test,
+        C&C heuristic, belief propagation -- but each stage touches only
+        state invalidated since the previous call.
+        """
+        traffic = self.window.traffic
+        verdicts = self._refresh_verdicts()
+        cc = {
+            domain for domain in {v.domain for v in verdicts}
+            if multi_host_beacon_heuristic(domain, verdicts, traffic)
+        }
+        seed_hosts: set[str] = set(hint_hosts)
+        seed_domains: set[str] = set()
+        if not seed_hosts:
+            seed_domains = set(cc)
+            for domain in cc:
+                seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+
+        # C&C verdicts are not monotone: new irregular events can flip
+        # a series back to not-automated.  If a domain the prior round
+        # believed C&C-like (a seed or a Detect_C&C label) no longer
+        # is, every belief derived from it is suspect -- drop the prior
+        # entirely so this round recomputes cold.
+        if self.prior is not None:
+            prior_cc = {
+                d.domain for d in self.prior.detections
+                if d.reason in ("seed", "cc")
+            }
+            if not prior_cc <= cc:
+                self.prior = None
+
+        if not seed_hosts and self.prior is None:
+            self.graph.clear_dirty()
+            return StreamUpdate(
+                day=self.window.day,
+                events_today=self.window.events_today,
+                rare_count=len(self.window.rare),
+                cc_domains=frozenset(cc),
+                detected=(),
+                mode="idle",
+            )
+
+        result, mode = warm_start_belief_propagation(
+            seed_hosts,
+            seed_domains,
+            graph=self.graph,
+            detect_cc=lambda dom: dom in cc,
+            similarity_score=lambda dom, mal: self.scorer.score(
+                dom, mal, traffic
+            ),
+            config=self.config,
+            prior=self.prior,
+            warm=self.warm,
+        )
+        self.prior = result
+        detected = sorted(seed_domains) + [
+            d for d in result.detected_domains if d not in seed_domains
+        ]
+        return StreamUpdate(
+            day=self.window.day,
+            events_today=self.window.events_today,
+            rare_count=len(self.window.rare),
+            cc_domains=frozenset(cc),
+            detected=tuple(detected),
+            mode=mode,
+            bp_result=result,
+        )
+
+    # ------------------------------------------------------------------
+    # Day boundary
+    # ------------------------------------------------------------------
+
+    def rollover(
+        self, *, detect: bool = True, hint_hosts: Sequence[str] = ()
+    ) -> StreamDayReport:
+        """Close the day: batch-parity detection, then commit histories.
+
+        The detection pass is :func:`repro.runner.detect_on_traffic`
+        over the full window -- the batch pipeline's own code over the
+        same aggregate -- so the report equals what
+        :class:`~repro.runner.DnsLogRunner` produces for the same
+        records.  Histories commit exactly once, in
+        :meth:`WindowedAggregator.rollover`.
+        """
+        traffic = self.window.traffic
+        traffic.finalize()
+        rare = extract_rare_domains(
+            traffic,
+            self.history,
+            unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
+        )
+        if detect:
+            detection = detect_on_traffic(
+                traffic,
+                rare,
+                automation=self.automation,
+                scorer=self.scorer,
+                config=self.config,
+                hint_hosts=hint_hosts,
+            )
+            report = StreamDayReport(
+                day=self.window.day,
+                records=self.window.events_today,
+                rare_domains=rare,
+                cc_domains=detection.cc_domains,
+                detected=detection.detected,
+                bp_result=detection.bp_result,
+            )
+        else:
+            report = StreamDayReport(
+                day=self.window.day,
+                records=self.window.events_today,
+                rare_domains=rare,
+                cc_domains=set(),
+                detected=[],
+            )
+        self.window.rollover()
+        self.graph.clear()
+        self.prior = None
+        self._verdicts.clear()
+        self._stale_pairs.clear()
+        return report
+
+    # ------------------------------------------------------------------
+    # Bootstrap / restore plumbing
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, paths: Iterable[str | Path]) -> int:
+        """Fold training-period files into the history (no detection)."""
+        for path in sorted(Path(p) for p in paths):
+            with path.open() as handle:
+                self.submit_raw(parse_dns_log(handle))
+            self.poll()
+            self.rollover(detect=False)
+        return len(self.history)
+
+    def resync(self) -> None:
+        """Rebuild all derived state from the window (restore path)."""
+        self.window.resync()
+        self.graph = IncrementalGraph.from_traffic(
+            self.window.traffic, self.window.rare
+        )
+        self._verdicts.clear()
+        self._stale_pairs = set(self.window.traffic.timestamps)
+
+
+# ---------------------------------------------------------------------------
+# Directory replay (the `repro-detect stream` engine)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayResult:
+    """What a (possibly interrupted) directory replay produced."""
+
+    reports: list[StreamDayReport] = field(default_factory=list)
+    updates: int = 0
+    batches: int = 0
+    interrupted: bool = False
+
+
+def replay_directory(
+    directory: str | Path,
+    *,
+    bootstrap_files: int,
+    pattern: str = "*.log",
+    config: SystemConfig | None = None,
+    internal_suffixes: tuple[str, ...] = (),
+    server_ips: frozenset[str] = frozenset(),
+    batch_size: int = 500,
+    score_every: int = 1,
+    warm: WarmStartConfig | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+    max_batches: int | None = None,
+    on_update=None,
+) -> ReplayResult:
+    """Replay a directory of daily DNS logs as an event stream.
+
+    The streaming analogue of :func:`repro.runner.run_directory`: the
+    first ``bootstrap_files`` logs build the destination history, the
+    rest are consumed in ``batch_size`` micro-batches with a scoring
+    round every ``score_every`` batches and a day rollover per file.
+
+    With ``checkpoint_path`` the engine persists its full state every
+    ``checkpoint_every`` micro-batches and after each rollover;
+    ``resume=True`` restores from that checkpoint and continues from
+    the exact event where the previous process stopped -- detection
+    config, filters and histories then come from the checkpoint (only
+    the warm-start policy is taken from the arguments).  ``max_batches``
+    bounds the number of micro-batches processed (the replay returns
+    with ``interrupted=True``), which together with ``resume`` simulates
+    a process restart mid-day.
+    """
+    from ..state import load_streaming, save_streaming
+
+    if score_every < 1:
+        raise ValueError("score_every must be positive")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be positive")
+    directory = Path(directory)
+    paths = sorted(directory.glob(pattern))
+    if len(paths) <= bootstrap_files:
+        raise ValueError(
+            f"need more than {bootstrap_files} files in {directory}, "
+            f"found {len(paths)}"
+        )
+
+    detector: StreamingDetector | None = None
+    if resume:
+        if checkpoint_path is None:
+            raise ValueError("resume requires a checkpoint path")
+        if Path(checkpoint_path).exists():
+            detector = load_streaming(checkpoint_path)
+            # Detection config and histories come from the checkpoint
+            # (they define what the stream has already seen); the
+            # warm-start policy is the operator's current choice.
+            if warm is not None:
+                detector.warm = warm
+    if detector is None:
+        detector = StreamingDetector(
+            config=config,
+            internal_suffixes=internal_suffixes,
+            server_ips=server_ips,
+            warm=warm,
+        )
+
+    result = ReplayResult()
+    # Each rollover (bootstrap or operational) advances the day counter,
+    # so the counter doubles as the index of the file now in progress.
+    resume_file = detector.window.day
+    skip_events = detector.window.events_today if resume else 0
+
+    def checkpoint() -> None:
+        if checkpoint_path is not None:
+            save_streaming(detector, checkpoint_path)
+
+    for index, path in enumerate(paths):
+        if index < resume_file:
+            continue
+        is_bootstrap = index < bootstrap_files
+        with path.open() as handle:
+            events = dns_connection_stream(
+                parse_dns_log(handle),
+                detector.funnel,
+                fold_level=detector.config.rarity.fold_level,
+            )
+            if index == resume_file and skip_events:
+                remaining = skip_events
+                for event in events:
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+            for batch in micro_batches(events, batch_size):
+                detector.submit(batch)
+                detector.poll()
+                result.batches += 1
+                if not is_bootstrap and result.batches % score_every == 0:
+                    update = detector.score()
+                    result.updates += 1
+                    if on_update is not None:
+                        on_update(update)
+                if result.batches % checkpoint_every == 0:
+                    checkpoint()
+                if max_batches is not None and result.batches >= max_batches:
+                    checkpoint()
+                    result.interrupted = True
+                    return result
+        report = detector.rollover(detect=not is_bootstrap)
+        if not is_bootstrap:
+            result.reports.append(report)
+        checkpoint()
+    return result

@@ -1,0 +1,129 @@
+"""Windowed profiling: the current day as an incrementally built window.
+
+The batch pipeline rebuilds a :class:`~repro.profiling.rare.DailyTraffic`
+aggregate and re-extracts the rare set from scratch for every run; the
+:class:`WindowedAggregator` maintains both *as events arrive*:
+
+* the day's traffic indexes grow per micro-batch (append-only);
+* the rare-destination set is tracked by a
+  :class:`~repro.profiling.rare.RareDomainTracker`, reacting to
+  popularity changes instead of rescanning all domains;
+* dirty (host, domain) pairs and rarity flips are exposed so the
+  detector can invalidate exactly the automation verdicts and graph
+  neighborhoods that changed.
+
+At a day boundary, :meth:`rollover` commits the window into the
+long-lived :class:`~repro.profiling.history.DestinationHistory` (and
+:class:`~repro.profiling.ua.UserAgentHistory` when present) exactly
+once -- the same end-of-day update the paper's nightly cycle performs
+-- and opens a fresh window.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..logs.records import Connection
+from ..profiling.history import DestinationHistory
+from ..profiling.rare import DailyTraffic, RareDomainTracker
+from ..profiling.ua import UserAgentHistory
+
+
+class WindowedAggregator:
+    """Maintains the current day's traffic window incrementally."""
+
+    def __init__(
+        self,
+        day: int,
+        history: DestinationHistory,
+        *,
+        unpopular_max_hosts: int = 10,
+        ua_history: UserAgentHistory | None = None,
+    ) -> None:
+        self.day = day
+        self.history = history
+        self.ua_history = ua_history
+        self.traffic = DailyTraffic(day)
+        self.tracker = RareDomainTracker(
+            history, unpopular_max_hosts=unpopular_max_hosts
+        )
+        self.events_today = 0
+        #: (host, domain) pairs with new events since the last drain.
+        self.dirty_pairs: set[tuple[str, str]] = set()
+        #: domains whose rarity flipped since the last drain.
+        self.rare_changes: set[str] = set()
+
+    @property
+    def rare(self) -> set[str]:
+        """The window's current rare-destination set."""
+        return self.tracker.rare
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, connections: Iterable[Connection]) -> set[tuple[str, str]]:
+        """Fold a micro-batch into the window; returns touched pairs."""
+        batch = list(connections)
+        ua_is_rare = (
+            self.ua_history.is_rare if self.ua_history is not None else None
+        )
+        self.traffic.ingest(batch, ua_is_rare=ua_is_rare)
+        touched: set[tuple[str, str]] = set()
+        for conn in batch:
+            touched.add((conn.host, conn.domain))
+            if self.ua_history is not None:
+                self.ua_history.stage(conn.user_agent, conn.host)
+        for domain in {domain for _, domain in touched}:
+            changed = self.tracker.update(
+                domain, len(self.traffic.hosts_by_domain[domain])
+            )
+            if changed:
+                self.rare_changes.add(domain)
+        self.dirty_pairs.update(touched)
+        self.events_today += len(batch)
+        return touched
+
+    def drain_changes(self) -> tuple[set[tuple[str, str]], set[str]]:
+        """Return and clear (dirty pairs, rarity flips) since last drain."""
+        dirty, flips = self.dirty_pairs, self.rare_changes
+        self.dirty_pairs, self.rare_changes = set(), set()
+        return dirty, flips
+
+    # ------------------------------------------------------------------
+    # Day boundary
+    # ------------------------------------------------------------------
+
+    def rollover(self) -> DailyTraffic:
+        """Close the window: commit histories once, open the next day.
+
+        Staging happens here rather than per event, mirroring
+        :class:`~repro.runner.DnsLogRunner`: domains observed today
+        still count as *new* for today's own detection, and a mid-day
+        checkpoint never holds half-staged history state.
+        """
+        self.traffic.finalize()
+        finished = self.traffic
+        for domain in finished.hosts_by_domain:
+            self.history.stage(domain, self.day)
+        self.history.commit_day(self.day)
+        if self.ua_history is not None:
+            self.ua_history.commit_day()
+        self.day += 1
+        self.traffic = DailyTraffic(self.day)
+        self.tracker.reset()
+        self.dirty_pairs.clear()
+        self.rare_changes.clear()
+        self.events_today = 0
+        return finished
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def resync(self) -> None:
+        """Recompute derived state from the traffic indexes (restore path)."""
+        self.traffic.finalize()
+        self.tracker.resync(self.traffic)
+        self.dirty_pairs = set(self.traffic.timestamps)
+        self.rare_changes = set()

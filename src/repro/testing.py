@@ -1,0 +1,35 @@
+"""Shared dataset configurations for tests and benchmarks.
+
+The synthetic worlds are deterministic functions of their seeds, so a
+single small configuration can be shared across the whole test suite
+(and regenerated identically anywhere else).  Keeping these in an
+importable module -- rather than in a ``conftest.py`` -- avoids the
+classic pytest pitfall where ``from conftest import ...`` resolves to
+whichever conftest happens to be first on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from .synthetic import EnterpriseDatasetConfig, LanlConfig
+
+#: Small but fully featured LANL world used across the suite.
+SMALL_LANL = LanlConfig(
+    seed=42,
+    n_hosts=60,
+    bootstrap_days=3,
+    popular_domains=40,
+    churn_domains_per_day=8,
+    browsing_visits_per_host=8,
+)
+
+#: Small enterprise world with enough campaigns to train both models.
+SMALL_ENTERPRISE = EnterpriseDatasetConfig(
+    seed=2014,
+    n_hosts=60,
+    bootstrap_days=9,
+    operation_days=7,
+    quiet_days=3,
+    popular_domains=60,
+    churn_domains_per_day=12,
+    n_campaigns=20,
+)

@@ -9,34 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.synthetic import (
-    EnterpriseDatasetConfig,
-    LanlConfig,
-    generate_enterprise_dataset,
-    generate_lanl_dataset,
-)
-
-#: Small but fully featured LANL world used across the suite.
-SMALL_LANL = LanlConfig(
-    seed=42,
-    n_hosts=60,
-    bootstrap_days=3,
-    popular_domains=40,
-    churn_domains_per_day=8,
-    browsing_visits_per_host=8,
-)
-
-#: Small enterprise world with enough campaigns to train both models.
-SMALL_ENTERPRISE = EnterpriseDatasetConfig(
-    seed=2014,
-    n_hosts=60,
-    bootstrap_days=9,
-    operation_days=7,
-    quiet_days=3,
-    popular_domains=60,
-    churn_domains_per_day=12,
-    n_campaigns=20,
-)
+from repro.synthetic import generate_enterprise_dataset, generate_lanl_dataset
+from repro.testing import SMALL_ENTERPRISE, SMALL_LANL
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,621 @@
+"""Tests for the streaming detection engine (repro.streaming).
+
+The load-bearing properties: replaying a day's events yields the batch
+pipeline's exact end-of-day detections; a mid-day checkpoint restores
+to identical final state; day rollover commits histories exactly once;
+and warm-start belief propagation reaches the cold-start fixed point.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.config import LANL_CONFIG
+from repro.core.beliefprop import belief_propagation
+from repro.logs import format_dns_line
+from repro.logs.records import Connection
+from repro.profiling.history import DestinationHistory
+from repro.profiling.rare import DailyTraffic, RareDomainTracker, extract_rare_domains
+from repro.runner import run_directory
+from repro.state import load_streaming, save_streaming
+from repro.streaming import (
+    EventBus,
+    IncrementalGraph,
+    StreamingDetector,
+    WarmStartConfig,
+    micro_batches,
+    replay_directory,
+    shard_of,
+    warm_start_belief_propagation,
+)
+from repro.streaming.window import WindowedAggregator
+
+
+@pytest.fixture(scope="module")
+def log_dir(lanl_dataset, tmp_path_factory) -> Path:
+    """Bootstrap day (3/1) + two attack days (3/2, 3/3) on disk."""
+    directory = tmp_path_factory.mktemp("streamlogs")
+    for march_date in (1, 2, 3):
+        path = directory / f"dns-march-{march_date:02d}.log"
+        with path.open("w") as handle:
+            for record in lanl_dataset.day_records(march_date):
+                handle.write(format_dns_line(record) + "\n")
+    return directory
+
+
+def _replay_kwargs(lanl_dataset, **extra):
+    kwargs = dict(
+        bootstrap_files=1,
+        pattern="dns-*.log",
+        internal_suffixes=lanl_dataset.internal_suffixes,
+        server_ips=lanl_dataset.server_ips,
+        batch_size=250,
+    )
+    kwargs.update(extra)
+    return kwargs
+
+
+# ---------------------------------------------------------------------------
+# Batch parity
+# ---------------------------------------------------------------------------
+
+class TestBatchParity:
+    def test_replay_matches_batch_runner(self, log_dir, lanl_dataset):
+        batch = run_directory(
+            log_dir,
+            bootstrap_files=1,
+            pattern="dns-*.log",
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        stream = replay_directory(log_dir, **_replay_kwargs(lanl_dataset))
+        assert len(stream.reports) == len(batch) == 2
+        for got, want in zip(stream.reports, batch):
+            assert got.records == want.records
+            assert got.rare_domains == want.rare_domains
+            assert got.cc_domains == want.cc_domains
+            assert got.detected == want.detected
+
+    def test_replay_detects_campaigns(self, log_dir, lanl_dataset):
+        stream = replay_directory(log_dir, **_replay_kwargs(lanl_dataset))
+        for report, march_date in zip(stream.reports, (2, 3)):
+            truth = lanl_dataset.campaign_for_date(march_date)
+            assert set(truth.cc_domains) <= report.cc_domains
+            assert set(truth.malicious_domains) <= set(report.detected)
+
+    def test_batch_size_does_not_change_detections(self, log_dir, lanl_dataset):
+        small = replay_directory(
+            log_dir, **_replay_kwargs(lanl_dataset, batch_size=37)
+        )
+        large = replay_directory(
+            log_dir, **_replay_kwargs(lanl_dataset, batch_size=5000)
+        )
+        for a, b in zip(small.reports, large.reports):
+            assert a.detected == b.detected
+            assert a.rare_domains == b.rare_domains
+
+    def test_intra_day_updates_converge_to_day_report(self, log_dir, lanl_dataset):
+        updates = []
+        stream = replay_directory(
+            log_dir, on_update=updates.append, **_replay_kwargs(lanl_dataset)
+        )
+        # The last scoring round of each day sees the full window, so
+        # its detections agree with the end-of-day (batch-parity) pass.
+        by_day = {}
+        for update in updates:
+            by_day[update.day] = update
+        for report in stream.reports:
+            final = by_day[report.day]
+            assert set(final.detected) == set(report.detected)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore
+# ---------------------------------------------------------------------------
+
+class TestCheckpointRestore:
+    def test_midday_restore_resumes_to_identical_state(
+        self, log_dir, lanl_dataset, tmp_path
+    ):
+        kwargs = _replay_kwargs(lanl_dataset)
+        full = replay_directory(log_dir, **kwargs)
+
+        ckpt = tmp_path / "ckpt.json"
+        first = replay_directory(
+            log_dir, checkpoint_path=ckpt, max_batches=40, **kwargs
+        )
+        assert first.interrupted
+        second = replay_directory(
+            log_dir, checkpoint_path=ckpt, resume=True, **kwargs
+        )
+        combined = first.reports + second.reports
+        assert [r.day for r in combined] == [r.day for r in full.reports]
+        for got, want in zip(combined, full.reports):
+            assert got.records == want.records
+            assert got.rare_domains == want.rare_domains
+            assert got.cc_domains == want.cc_domains
+            assert got.detected == want.detected
+
+    def test_snapshot_round_trip_preserves_window(self, lanl_dataset, tmp_path):
+        detector = StreamingDetector(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        records = lanl_dataset.day_records(1)
+        half = len(records) // 2
+        detector.submit_raw(records[:half])
+        detector.poll()
+        detector.score()
+
+        path = tmp_path / "snap.json"
+        save_streaming(detector, path)
+        restored = load_streaming(path)
+
+        assert restored.window.day == detector.window.day
+        assert restored.window.events_today == detector.window.events_today
+        assert restored.window.rare == detector.window.rare
+        assert (
+            restored.window.traffic.timestamps
+            == detector.window.traffic.timestamps
+        )
+        assert restored.history._first_seen == detector.history._first_seen
+        if detector.prior is not None:
+            assert restored.prior.domains == detector.prior.domains
+            assert restored.prior.hosts == detector.prior.hosts
+
+        # Both finish the day identically.
+        detector.submit_raw(records[half:])
+        detector.poll()
+        restored.submit_raw(records[half:])
+        restored.poll()
+        assert detector.rollover().detected == restored.rollover().detected
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        from repro.state import StateError, restore_streaming
+
+        with pytest.raises(StateError):
+            restore_streaming({"version": 1, "kind": "detector"})
+
+    def test_save_is_atomic(self, tmp_path):
+        detector = StreamingDetector()
+        path = tmp_path / "ckpt.json"
+        save_streaming(detector, path)
+        good = path.read_text()
+        # A crashed write leaves only the temp file; the checkpoint
+        # itself must still hold the previous good document.
+        assert not (tmp_path / "ckpt.json.tmp").exists()
+        detector.ingest([_conn("h1", "d.c1", 5.0)])
+        save_streaming(detector, path)
+        assert path.read_text() != good
+        assert load_streaming(path).window.events_today == 1
+
+    def test_refuses_snapshot_with_queued_events(self, tmp_path):
+        from repro.state import StateError
+
+        detector = StreamingDetector()
+        detector.submit([_conn("h1", "d.c1", 5.0)])  # published, not polled
+        with pytest.raises(StateError, match="queued"):
+            save_streaming(detector, tmp_path / "ckpt.json")
+        detector.poll()
+        save_streaming(detector, tmp_path / "ckpt.json")
+
+
+# ---------------------------------------------------------------------------
+# Day rollover
+# ---------------------------------------------------------------------------
+
+class TestRollover:
+    def test_commits_histories_exactly_once(self, log_dir, lanl_dataset):
+        detector = StreamingDetector(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        with (log_dir / "dns-march-01.log").open() as handle:
+            from repro.logs import parse_dns_log
+
+            detector.submit_raw(parse_dns_log(handle))
+        detector.poll()
+        domains_today = set(detector.window.traffic.hosts_by_domain)
+        assert all(detector.history.is_new(d) for d in domains_today)
+
+        detector.rollover(detect=False)
+        assert detector.history.committed_days == frozenset({0})
+        assert not any(detector.history.is_new(d) for d in domains_today)
+        sizes = len(detector.history)
+
+        # A second rollover (empty day) must not re-stage or re-commit
+        # day 0's observations.
+        detector.rollover(detect=False)
+        assert len(detector.history) == sizes
+        assert detector.history.committed_days == frozenset({0, 1})
+
+    def test_rollover_resets_window_and_beliefs(self, lanl_dataset):
+        detector = StreamingDetector(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        detector.submit_raw(lanl_dataset.day_records(1))
+        detector.poll()
+        detector.score()
+        detector.rollover()
+        assert detector.window.events_today == 0
+        assert detector.window.rare == set()
+        assert detector.graph.domain_count == 0
+        assert detector.prior is None
+
+    def test_history_matches_batch_after_replay(self, log_dir, lanl_dataset):
+        kwargs = _replay_kwargs(lanl_dataset)
+        from repro.runner import DnsLogRunner
+
+        runner = DnsLogRunner(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        paths = sorted(log_dir.glob("dns-*.log"))
+        runner.bootstrap(paths[:1])
+        for path in paths[1:]:
+            runner.process(path)
+
+        detector = StreamingDetector(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        detector.bootstrap(paths[:1])
+        for path in paths[1:]:
+            with path.open() as handle:
+                from repro.logs import parse_dns_log
+
+                detector.submit_raw(parse_dns_log(handle))
+            detector.poll()
+            detector.rollover()
+
+        assert detector.history._first_seen == runner.history._first_seen
+        assert detector.history.committed_days == runner.history.committed_days
+
+
+# ---------------------------------------------------------------------------
+# Warm-start belief propagation
+# ---------------------------------------------------------------------------
+
+def _toy_scorers():
+    scores = {"d2": 0.6, "d3": 0.5, "d4": 0.1}
+
+    def detect_cc(domain):
+        return domain == "d1"
+
+    def similarity(domain, malicious):
+        return scores.get(domain, 0.0)
+
+    return detect_cc, similarity
+
+
+class TestWarmStartBP:
+    def test_warm_reaches_cold_fixed_point(self):
+        detect_cc, similarity = _toy_scorers()
+        config = LANL_CONFIG
+        warm_cfg = WarmStartConfig(full_recompute_fraction=0.95)
+
+        # Round 1: partial graph.
+        graph = IncrementalGraph()
+        graph.add_edge("h1", "d1")
+        graph.add_edge("h1", "d2")
+        prior, mode = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=config,
+        )
+        assert mode == "full"
+        assert prior.domains == {"d1", "d2"}
+
+        # New events arrive: h2 visits d2 and d3, h3 visits d4.
+        graph.add_edge("h2", "d2")
+        graph.add_edge("h2", "d3")
+        graph.add_edge("h3", "d4")
+        warm_result, mode = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=config, prior=prior, warm=warm_cfg,
+        )
+        assert mode == "warm"
+
+        cold_result = belief_propagation(
+            {"h1"}, {"d1"},
+            dom_host=graph.dom_host, host_rdom=graph.host_rdom,
+            detect_cc=detect_cc, similarity_score=similarity,
+            config=config.belief_propagation,
+        )
+        assert warm_result.domains == cold_result.domains
+        assert warm_result.hosts == cold_result.hosts
+        # Same marginals: each non-seed domain keeps its labeling score.
+        warm_scores = {d.domain: d.score for d in warm_result.detections}
+        cold_scores = {d.domain: d.score for d in cold_result.detections}
+        for domain in warm_result.domains - {"d1"}:
+            assert warm_scores[domain] == pytest.approx(
+                cold_scores[domain], abs=1e-9
+            )
+
+    def test_warm_spends_fewer_iterations(self):
+        detect_cc, similarity = _toy_scorers()
+        graph = IncrementalGraph()
+        graph.add_edge("h1", "d1")
+        graph.add_edge("h1", "d2")
+        prior, _ = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=LANL_CONFIG,
+        )
+        graph.clear_dirty()
+        graph.add_edge("h2", "d2")
+        warm_result, mode = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=LANL_CONFIG, prior=prior,
+            warm=WarmStartConfig(full_recompute_fraction=0.95),
+        )
+        assert mode == "warm"
+        # d2 was already labeled in the prior; only the no-op closing
+        # iteration runs, instead of re-deriving every label.
+        assert warm_result.iterations < prior.iterations + 1 or (
+            warm_result.iterations <= prior.iterations
+        )
+
+    def test_falls_back_when_dirty_fraction_large(self):
+        detect_cc, similarity = _toy_scorers()
+        graph = IncrementalGraph()
+        graph.add_edge("h1", "d1")
+        prior, _ = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=LANL_CONFIG,
+        )
+        graph.add_edge("h1", "d2")  # 1 of 2 domains dirty = 0.5 > 0.25
+        _, mode = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=LANL_CONFIG, prior=prior,
+        )
+        assert mode == "full"
+
+    def test_cc_verdict_retraction_drops_prior(self):
+        """A prior C&C belief that stops looking automated must not
+        survive as a warm-start seed (verdicts are not monotone)."""
+        detector = StreamingDetector(
+            warm=WarmStartConfig(full_recompute_fraction=0.99)
+        )
+        # Two hosts beaconing in sync at 600 s: C&C by the multi-host
+        # heuristic.  Background chatter keeps the dirty fraction low.
+        beacons = [
+            _conn(host, "evil.c1", 600.0 * i)
+            for i in range(8) for host in ("h1", "h2")
+        ]
+        noise = [
+            _conn("n1", f"bg{i}.c1", 100.0 + i) for i in range(30)
+        ]
+        detector.ingest(beacons + noise)
+        first = detector.score()
+        assert "evil.c1" in first.detected
+        assert detector.prior is not None
+
+        # Irregular events break the periodicity for both hosts.
+        jitter = [
+            _conn(host, "evil.c1", t)
+            for t in (130.0, 655.0, 1790.0, 2233.0, 2904.0, 3111.0,
+                      3517.0, 4020.0, 4444.0)
+            for host in ("h1", "h2")
+        ]
+        detector.ingest(jitter)
+        second = detector.score()
+        assert "evil.c1" not in second.detected
+        # Matches a cold detector over the identical traffic.
+        cold = StreamingDetector()
+        cold.ingest(beacons + noise + jitter)
+        assert set(second.detected) == set(cold.score().detected)
+
+    def test_falls_back_on_belief_retraction(self):
+        detect_cc, similarity = _toy_scorers()
+        graph = IncrementalGraph()
+        graph.add_edge("h1", "d1")
+        graph.add_edge("h1", "d2")
+        for _ in range(20):
+            graph.add_edge(f"x{_}", "d4")
+        prior, _ = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=LANL_CONFIG,
+        )
+        assert "d2" in prior.domains
+        graph.remove_domain("d2")  # d2 crossed the popularity threshold
+        _, mode = warm_start_belief_propagation(
+            {"h1"}, {"d1"},
+            graph=graph, detect_cc=detect_cc, similarity_score=similarity,
+            config=LANL_CONFIG, prior=prior,
+            warm=WarmStartConfig(full_recompute_fraction=0.95),
+        )
+        assert mode == "full"
+
+
+# ---------------------------------------------------------------------------
+# Substrates
+# ---------------------------------------------------------------------------
+
+def _conn(host, domain, ts=0.0):
+    return Connection(timestamp=ts, host=host, domain=domain)
+
+
+class TestEventBus:
+    def test_sharding_is_stable_and_total(self):
+        bus = EventBus(n_shards=4)
+        events = [_conn(f"host{i}", "dom.c1", float(i)) for i in range(100)]
+        assert bus.publish(events) == 100
+        assert len(bus) == 100
+        assert sum(bus.shard_sizes()) == 100
+        for i in range(100):
+            assert shard_of(f"host{i}", 4) == shard_of(f"host{i}", 4)
+
+    def test_same_host_same_shard(self):
+        bus = EventBus(n_shards=8)
+        bus.publish([_conn("alpha", f"d{i}.c1", float(i)) for i in range(10)])
+        sizes = bus.shard_sizes()
+        assert sorted(sizes, reverse=True)[0] == 10
+
+    def test_drain_round_robin_empties_all(self):
+        bus = EventBus(n_shards=3)
+        bus.publish([_conn(f"h{i}", "d.c1", float(i)) for i in range(30)])
+        first = bus.drain(max_events=7)
+        rest = bus.drain()
+        assert len(first) == 7
+        assert len(rest) == 23
+        assert len(bus) == 0
+
+    def test_micro_batches(self):
+        batches = list(micro_batches(iter(range(10)), 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            list(micro_batches(iter(range(3)), 0))
+
+    def test_replay_rejects_nonpositive_intervals(self, tmp_path):
+        with pytest.raises(ValueError, match="score_every"):
+            replay_directory(tmp_path, bootstrap_files=0, score_every=0)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            replay_directory(tmp_path, bootstrap_files=0, checkpoint_every=0)
+
+
+class TestRareDomainTracker:
+    def test_matches_batch_extraction_incrementally(self):
+        history = DestinationHistory()
+        history.bootstrap(["old.c1"])
+        traffic = DailyTraffic(0)
+        tracker = RareDomainTracker(history, unpopular_max_hosts=3)
+        events = (
+            [_conn("h1", "old.c1"), _conn("h1", "new.c1")]
+            + [_conn(f"h{i}", "busy.c1") for i in range(5)]
+            + [_conn("h2", "new.c1")]
+        )
+        for conn in events:
+            traffic.ingest([conn])
+            tracker.update(
+                conn.domain, len(traffic.hosts_by_domain[conn.domain])
+            )
+            assert tracker.rare == extract_rare_domains(
+                traffic, history, unpopular_max_hosts=3
+            )
+
+    def test_popular_domain_never_returns(self):
+        history = DestinationHistory()
+        tracker = RareDomainTracker(history, unpopular_max_hosts=2)
+        assert tracker.update("d.c1", 1) == +1
+        assert tracker.update("d.c1", 2) == -1
+        assert tracker.update("d.c1", 2) == 0
+        assert "d.c1" not in tracker.rare
+
+
+class TestWindowedAggregator:
+    def test_window_equals_bulk_aggregation(self, lanl_dataset):
+        from repro.logs.normalize import normalize_dns_records
+        from repro.logs.reduction import ReductionFunnel
+
+        funnel = ReductionFunnel(
+            lanl_dataset.internal_suffixes,
+            lanl_dataset.server_ips,
+            fold_level=3,
+        )
+        conns = list(
+            normalize_dns_records(
+                funnel.reduce(lanl_dataset.day_records(1)), fold_level=3
+            )
+        )
+        bulk = DailyTraffic(0)
+        bulk.ingest(conns)
+        bulk.finalize()
+
+        window = WindowedAggregator(0, DestinationHistory())
+        for start in range(0, len(conns), 101):
+            window.ingest(conns[start:start + 101])
+        window.traffic.finalize()
+        assert window.traffic.timestamps == bulk.timestamps
+        assert window.traffic.hosts_by_domain == bulk.hosts_by_domain
+        assert window.events_today == len(conns)
+
+    def test_drain_changes_clears(self):
+        window = WindowedAggregator(0, DestinationHistory())
+        window.ingest([_conn("h1", "d.c1")])
+        dirty, flips = window.drain_changes()
+        assert dirty == {("h1", "d.c1")}
+        assert flips == {"d.c1"}
+        assert window.drain_changes() == (set(), set())
+
+
+class TestIncrementalGraph:
+    def test_remove_domain_cleans_both_maps(self):
+        graph = IncrementalGraph()
+        graph.add_edge("h1", "d1")
+        graph.add_edge("h1", "d2")
+        graph.remove_domain("d1")
+        assert "d1" not in graph.dom_host
+        assert graph.host_rdom["h1"] == {"d2"}
+        graph.remove_domain("d2")
+        assert graph.host_rdom == {}
+
+    def test_from_traffic_restricts_to_rare(self):
+        traffic = DailyTraffic(0)
+        traffic.ingest([_conn("h1", "d1"), _conn("h2", "d2")])
+        graph = IncrementalGraph.from_traffic(traffic, rare={"d1"})
+        assert set(graph.dom_host) == {"d1"}
+        assert graph.host_rdom == {"h1": {"d1"}}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestStreamCommand:
+    def test_interrupt_and_resume_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        logs = tmp_path / "logs"
+        assert main([
+            "generate", str(logs), "--hosts", "40", "--days", "2",
+        ]) == 0
+        capsys.readouterr()
+
+        ckpt = tmp_path / "ckpt.json"
+        interrupted = main([
+            "stream", str(logs), "--bootstrap-files", "1",
+            "--internal-suffix", "int.c0",
+            "--batch-size", "200",
+            "--checkpoint", str(ckpt), "--max-batches", "5",
+        ])
+        out = capsys.readouterr().out
+        assert interrupted == 3
+        assert "interrupted after 5 micro-batches" in out
+        assert ckpt.exists()
+
+        resumed = main([
+            "stream", str(logs), "--bootstrap-files", "1",
+            "--internal-suffix", "int.c0",
+            "--batch-size", "200",
+            "--checkpoint", str(ckpt), "--resume",
+        ])
+        out = capsys.readouterr().out
+        assert resumed == 0
+        assert "day 1:" in out
+
+    def test_stream_matches_run_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        logs = tmp_path / "logs"
+        main(["generate", str(logs), "--hosts", "40", "--days", "2"])
+        capsys.readouterr()
+
+        main(["run", str(logs), "--bootstrap-files", "1",
+              "--internal-suffix", "int.c0"])
+        run_out = capsys.readouterr().out
+        main(["stream", str(logs), "--bootstrap-files", "1",
+              "--internal-suffix", "int.c0"])
+        stream_out = capsys.readouterr().out
+        # Identical detection suffix: "N rare, C&C=..., detected=..."
+        run_tail = [line.split(" records, ")[1]
+                    for line in run_out.splitlines() if " records, " in line]
+        stream_tail = [line.split(" records, ")[1]
+                       for line in stream_out.splitlines() if " records, " in line]
+        assert run_tail == stream_tail

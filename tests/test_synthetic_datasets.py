@@ -7,7 +7,7 @@ from repro.logs.domains import same_subnet
 from repro.synthetic import CASE_DATES, TRAINING_DATES, generate_lanl_dataset
 from repro.synthetic.lanl import LanlConfig
 
-from conftest import SMALL_LANL
+from repro.testing import SMALL_LANL
 
 
 class TestLanlLayout:
