@@ -1,0 +1,122 @@
+"""Fleet throughput: serial vs parallel cross-tenant execution.
+
+Not a paper figure -- this bench characterizes the multi-tenant fleet
+subsystem (`repro.fleet`).  It generates N correlated enterprises
+sharing one attacker campaign, writes the fleet layout to disk, then
+runs the identical workload three ways:
+
+* serial: ``--workers 1`` (the baseline every mode must match);
+* threads: ``--workers N`` on the thread executor;
+* processes: ``--workers N`` on the process executor (engine state
+  carried through per-tenant checkpoints -- real parallelism paid for
+  with serialization; skipped in smoke mode).
+
+The parity assertion is the load-bearing part: per-tenant detections
+must be identical across all modes (day-barrier seeding makes results
+independent of worker count).  The table reports tenant-days/sec plus
+the shared intel plane's cross-tenant cache hits and the streaming
+verdict-cache skip counters.
+
+``FLEET_BENCH_SMOKE=1`` shrinks the world for CI; results go to
+``benchmarks/out/fleet_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import OUT_DIR, save_output
+
+from repro.eval import render_table
+from repro.fleet import FleetManager, load_manifest
+from repro.synthetic import write_fleet_layout
+from repro.testing import make_multi_enterprise_dataset
+
+SMOKE = os.environ.get("FLEET_BENCH_SMOKE", "") not in ("", "0")
+N_TENANTS = 3 if SMOKE else 4
+DAYS = 3 if SMOKE else 4
+WORKERS = N_TENANTS
+
+
+def _run_mode(manifest, *, workers: int, executor: str):
+    manager = FleetManager.from_manifest(
+        manifest, workers=workers, executor=executor
+    )
+    start = time.perf_counter()
+    report = manager.run()
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def test_fleet_throughput():
+    fleet = make_multi_enterprise_dataset(N_TENANTS)
+    with tempfile.TemporaryDirectory() as tmp:
+        manifest = load_manifest(
+            write_fleet_layout(fleet, Path(tmp), days=DAYS)
+        )
+        modes = [("serial", 1, "thread"), ("threads", WORKERS, "thread")]
+        if not SMOKE:
+            modes.append(("processes", WORKERS, "process"))
+
+        rows, results = [], []
+        baseline = None
+        for name, workers, executor in modes:
+            report, elapsed = _run_mode(
+                manifest, workers=workers, executor=executor
+            )
+            detections = {
+                tenant: sorted(domains)
+                for tenant, domains in report.detected_by_tenant().items()
+            }
+            if baseline is None:
+                baseline = detections
+            # Parity is the contract: worker count and executor must
+            # never change what any tenant detects.
+            assert detections == baseline, (name, detections, baseline)
+
+            tenant_days = len(report.days)
+            records = sum(r.records for r in report.days)
+            vt = report.intel.vt_cache.stats
+            assert vt.cross_tenant_hits > 0
+            rows.append((
+                name, workers, tenant_days,
+                f"{tenant_days / elapsed:.2f}",
+                f"{records / elapsed:,.0f}",
+                vt.cross_tenant_hits,
+                report.seeded_detections(),
+            ))
+            results.append({
+                "mode": name,
+                "workers": workers,
+                "executor": executor,
+                "tenants": N_TENANTS,
+                "tenant_days": tenant_days,
+                "records": records,
+                "elapsed_sec": elapsed,
+                "tenant_days_per_sec": tenant_days / elapsed,
+                "records_per_sec": records / elapsed,
+                "vt_cache": vt.as_dict(),
+                "seeded_detections": report.seeded_detections(),
+                "detect_parity": detections == baseline,
+            })
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "fleet_throughput.json").write_text(
+        json.dumps({"smoke": SMOKE, "modes": results}, indent=1) + "\n"
+    )
+    save_output(
+        "fleet_throughput",
+        render_table(
+            ("mode", "workers", "tenant-days", "td/s", "records/s",
+             "x-tenant hits", "seeded"),
+            rows,
+            title=(
+                f"Fleet execution ({N_TENANTS} tenants, {DAYS} days, "
+                "shared campaign; identical detections asserted)"
+            ),
+        ),
+    )

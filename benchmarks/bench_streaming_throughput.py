@@ -114,6 +114,7 @@ def test_streaming_throughput():
         stream_elapsed = time.perf_counter() - start
 
         assert streamed == n_events
+        verdict_stats = detector.verdict_stats.as_dict()
         parity = set(report.detected) == batch_detected
         assert parity, (report.detected, batch_detected)
 
@@ -141,6 +142,10 @@ def test_streaming_throughput():
             "batch_elapsed_sec": batch_elapsed,
             "stream_elapsed_sec": stream_elapsed,
             "detect_parity": parity,
+            # Period-aware verdict cache: how many series re-tests the
+            # streaming engine avoided (short series, on-period beacons)
+            # or served incrementally instead of rebuilding.
+            "verdict_cache": verdict_stats,
         })
 
     OUT_DIR.mkdir(exist_ok=True)

@@ -7,11 +7,19 @@ The subcommands cover the workflows a downstream user needs::
     repro-detect generate    # write synthetic logs to disk
     repro-detect run         # batch detection over a log directory
     repro-detect stream      # replay a log directory as an event stream
+    repro-detect fleet       # run many tenants above a shared intel plane
     repro-detect timing      # test one timestamp series for automation
 
 ``stream`` drives the online engine (:mod:`repro.streaming`): events
 are consumed in micro-batches with intra-day scoring, optional
 checkpointing (``--checkpoint``), and crash recovery (``--resume``).
+``fleet`` drives one engine per enterprise tenant (:mod:`repro.fleet`)
+from a tenant manifest, sharing VT/WHOIS caches and cross-tenant
+priors; ``generate --tenants N`` writes a runnable fleet layout.
+
+Exit codes are uniform: 0 success, 2 usage/configuration error (bad
+manifest, missing checkpoint -- one-line message, no traceback),
+3 interrupted (resumable with ``--resume``).
 
 All commands are seeded and offline; see ``--help`` of each subcommand.
 """
@@ -60,6 +68,13 @@ def _add_generate_parser(subparsers) -> None:
     parser.add_argument(
         "--netflow", action="store_true",
         help="also write per-day NetFlow exports",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=1,
+        help="with N >= 2, write an N-tenant fleet layout (per-tenant "
+             "log directories, a shared VT feed and a manifest.json "
+             "for 'repro-detect fleet') whose tenants share one "
+             "attacker campaign",
     )
 
 
@@ -133,6 +148,54 @@ def _add_stream_parser(subparsers) -> None:
     )
 
 
+def _add_fleet_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet",
+        help="run one detection engine per enterprise tenant above a "
+             "shared intel plane (VT cache + cross-tenant priors)",
+        description="Advance every tenant named in the manifest through "
+                    "its log directory in day-barrier rounds.  Detections "
+                    "published by one tenant seed belief propagation in "
+                    "the others from the next day on; results are "
+                    "identical for any --workers value.  Exit codes: 0 "
+                    "success, 2 bad manifest/checkpoint, 3 interrupted "
+                    "(resume with --resume).",
+    )
+    parser.add_argument(
+        "manifest", type=Path,
+        help="fleet manifest JSON (as written by 'generate --tenants N')",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="tenants advanced concurrently per round (default 1)",
+    )
+    parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="'thread' keeps engines in memory; 'process' runs real "
+             "parallel workers with engine state carried through the "
+             "per-tenant checkpoints (requires/creates --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="directory for per-tenant checkpoints and the fleet state "
+             "(enables --resume after an interruption)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a checkpointed fleet run from its last completed "
+             "round (requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="stop after N day-barrier rounds (for testing restarts); "
+             "exits with status 3 when interrupted",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="also write the full fleet report to this JSON file",
+    )
+
+
 def _add_timing_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "timing",
@@ -159,8 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate_parser(subparsers)
     _add_run_parser(subparsers)
     _add_stream_parser(subparsers)
+    _add_fleet_parser(subparsers)
     _add_timing_parser(subparsers)
     return parser
+
+
+def _fail(message: str) -> int:
+    """Uniform one-line failure: no traceback, exit status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 # ---------------------------------------------------------------------------
@@ -234,6 +304,36 @@ def _run_generate(args) -> int:
     from .synthetic import generate_lanl_dataset
     from .synthetic.lanl import LanlConfig
 
+    if args.tenants < 1:
+        return _fail("--tenants must be positive")
+    if args.tenants > 1:
+        if args.netflow:
+            return _fail("--netflow is not supported with --tenants")
+        if args.days < 3:
+            return _fail(
+                "--tenants needs --days >= 3 (follower tenants are hit "
+                "by the shared campaign on day 3)"
+            )
+        from .synthetic import (
+            FleetScenarioConfig,
+            generate_fleet_dataset,
+            write_fleet_layout,
+        )
+
+        fleet = generate_fleet_dataset(FleetScenarioConfig(
+            seed=args.seed,
+            n_tenants=args.tenants,
+            tenant=LanlConfig(seed=args.seed, n_hosts=args.hosts),
+        ))
+        manifest_path = write_fleet_layout(fleet, args.output, days=args.days)
+        for tenant_id in fleet.tenant_ids:
+            print(f"wrote {args.output / tenant_id}/ "
+                  f"({args.days} daily logs)")
+        print(f"wrote {manifest_path}")
+        print(f"run it:  repro-detect fleet {manifest_path} --workers "
+              f"{args.tenants}")
+        return 0
+
     dataset = generate_lanl_dataset(
         LanlConfig(seed=args.seed, n_hosts=args.hosts)
     )
@@ -266,12 +366,15 @@ def _run_run(args) -> int:
     from .eval.clusters import triage_report
     from .runner import run_directory
 
-    reports = run_directory(
-        args.directory,
-        bootstrap_files=args.bootstrap_files,
-        pattern=args.pattern,
-        internal_suffixes=tuple(args.internal_suffix),
-    )
+    try:
+        reports = run_directory(
+            args.directory,
+            bootstrap_files=args.bootstrap_files,
+            pattern=args.pattern,
+            internal_suffixes=tuple(args.internal_suffix),
+        )
+    except (ValueError, OSError) as exc:
+        return _fail(str(exc))
     all_detected: set[str] = set()
     for report in reports:
         print(
@@ -289,6 +392,7 @@ def _run_run(args) -> int:
 
 def _run_stream(args) -> int:
     from .eval.clusters import triage_report
+    from .state import StateError
     from .streaming import WarmStartConfig, replay_directory
 
     def on_update(update) -> None:
@@ -298,20 +402,25 @@ def _run_stream(args) -> int:
                 f"{update.mode}: detected={list(update.detected)}"
             )
 
-    result = replay_directory(
-        args.directory,
-        bootstrap_files=args.bootstrap_files,
-        pattern=args.pattern,
-        internal_suffixes=tuple(args.internal_suffix),
-        batch_size=args.batch_size,
-        score_every=args.score_every,
-        warm=WarmStartConfig(enabled=not args.no_warm_start),
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-        max_batches=args.max_batches,
-        on_update=on_update,
-    )
+    if args.resume and args.checkpoint is None:
+        return _fail("--resume requires --checkpoint")
+    try:
+        result = replay_directory(
+            args.directory,
+            bootstrap_files=args.bootstrap_files,
+            pattern=args.pattern,
+            internal_suffixes=tuple(args.internal_suffix),
+            batch_size=args.batch_size,
+            score_every=args.score_every,
+            warm=WarmStartConfig(enabled=not args.no_warm_start),
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+            max_batches=args.max_batches,
+            on_update=on_update,
+        )
+    except (ValueError, OSError, StateError) as exc:
+        return _fail(str(exc))
     all_detected: set[str] = set()
     for report in result.reports:
         print(
@@ -331,6 +440,48 @@ def _run_stream(args) -> int:
     if all_detected:
         print()
         print(triage_report(all_detected))
+    return 0
+
+
+def _run_fleet(args) -> int:
+    import json
+
+    from .fleet import (
+        FleetError,
+        FleetManager,
+        ManifestError,
+        load_manifest,
+    )
+    from .state import StateError
+
+    try:
+        manifest = load_manifest(args.manifest)
+        manager = FleetManager.from_manifest(
+            manifest,
+            workers=args.workers,
+            executor=args.executor,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+        report = manager.run(max_rounds=args.max_rounds)
+    except (ManifestError, FleetError, StateError, OSError) as exc:
+        return _fail(str(exc))
+    print(report.render())
+    if args.json is not None:
+        try:
+            args.json.write_text(
+                json.dumps(report.as_dict(), indent=1) + "\n"
+            )
+        except OSError as exc:
+            return _fail(str(exc))
+        print(f"\nreport written to {args.json}")
+    if report.interrupted:
+        print(
+            f"interrupted after {args.max_rounds} rounds"
+            + (f"; resume with --resume --checkpoint-dir "
+               f"{args.checkpoint_dir}" if args.checkpoint_dir else "")
+        )
+        return 3
     return 0
 
 
@@ -369,6 +520,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _run_generate,
         "run": _run_run,
         "stream": _run_stream,
+        "fleet": _run_fleet,
         "timing": _run_timing,
     }
     return handlers[args.command](args)

@@ -1,0 +1,249 @@
+"""Shared intelligence plane for a multi-tenant detection fleet.
+
+The paper's key external inputs -- VirusTotal verdicts and WHOIS
+registration records -- are *global*: a domain's VT report or
+registration date does not depend on which enterprise asks.  The
+:class:`IntelPlane` therefore sits above all per-tenant engines and
+provides:
+
+* **memoized, hit/miss-counting caches** over the VT oracle and WHOIS
+  database, shared across tenants.  Each cache entry remembers which
+  tenant inserted it, so the plane can report *cross-tenant* hits --
+  the lookups one enterprise saved another;
+* a **cross-tenant prior board**: domains a tenant detected with score
+  at or above ``prior_threshold`` are published to the board, and
+  :meth:`seeds_for` returns every *other* tenant's qualifying domains.
+  Fed into :func:`repro.runner.detect_on_traffic` as ``intel_domains``,
+  these become elevated belief-propagation priors -- the paper's
+  community-feedback amplification (a domain confirmed malicious for
+  one tenant immediately seeds detection everywhere else), applied at
+  fleet scale.
+
+Seeding is applied at *day barriers* by the
+:class:`~repro.fleet.manager.FleetManager`: every tenant finishes day
+``d`` before any detections from day ``d`` are published, so results
+are identical regardless of how many workers advance the tenants in
+parallel.
+
+The plane is thread-safe (one lock around all mutation); in process
+executor mode only the fleet parent touches it, at the barriers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..intel.virustotal import VirusTotalOracle
+from ..intel.whois_db import WhoisDatabase, WhoisRecord
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting for one shared cache."""
+
+    hits: int = 0
+    misses: int = 0
+    cross_tenant_hits: int = 0
+    """Hits on entries first inserted by a *different* tenant."""
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "cross_tenant_hits": self.cross_tenant_hits,
+        }
+
+
+class _TenantCache:
+    """Memo cache whose entries remember the inserting tenant."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self._entries: dict[Any, tuple[Any, str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any, tenant_id: str, compute) -> Any:
+        entry = self._entries.get(key)
+        if entry is not None:
+            value, owner = entry
+            self.stats.hits += 1
+            if owner != tenant_id:
+                self.stats.cross_tenant_hits += 1
+            return value
+        value = compute()
+        self.stats.misses += 1
+        self._entries[key] = (value, tenant_id)
+        return value
+
+
+@dataclass(frozen=True)
+class BoardEntry:
+    """One domain on the cross-tenant prior board."""
+
+    domain: str
+    score: float
+    """Best detection score seen fleet-wide (C&C/seed labels are 1.0)."""
+
+    tenants: frozenset[str]
+    """Tenants that detected the domain."""
+
+    first_day: int
+    """Earliest fleet day (round index) the domain was detected on."""
+
+
+class IntelPlane:
+    """Shared VT/WHOIS caches plus the cross-tenant prior board."""
+
+    def __init__(
+        self,
+        vt: VirusTotalOracle | None = None,
+        whois: WhoisDatabase | None = None,
+        *,
+        prior_threshold: float = 0.4,
+    ) -> None:
+        self.vt = vt
+        self.whois = whois
+        self.prior_threshold = prior_threshold
+        self.vt_cache = _TenantCache()
+        self.whois_cache = _TenantCache()
+        self.seeds_served = 0
+        self._board: dict[str, BoardEntry] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Shared lookups
+    # ------------------------------------------------------------------
+
+    def vt_reported(self, tenant_id: str, domain: str) -> bool | None:
+        """Memoized VT verdict: ``True``/``False``, ``None`` if no
+        oracle is attached (lookups are still cached and counted, so a
+        fleet without a VT feed keeps its sharing accounting)."""
+        with self._lock:
+            return self.vt_cache.get(
+                domain,
+                tenant_id,
+                lambda: self.vt.is_reported(domain) if self.vt else None,
+            )
+
+    def whois_lookup(self, tenant_id: str, domain: str) -> WhoisRecord | None:
+        """Memoized WHOIS record (``None`` = unregistered/unparseable)."""
+        with self._lock:
+            return self.whois_cache.get(
+                domain,
+                tenant_id,
+                lambda: self.whois.lookup(domain) if self.whois else None,
+            )
+
+    # ------------------------------------------------------------------
+    # Cross-tenant prior board
+    # ------------------------------------------------------------------
+
+    def publish(
+        self,
+        tenant_id: str,
+        day: int,
+        scored_domains: Iterable[tuple[str, float]],
+    ) -> int:
+        """Record one tenant's day-``day`` detections on the board.
+
+        Only domains scoring at or above ``prior_threshold`` qualify.
+        Publishing is commutative (set union, max score), so the order
+        tenants finish a round in does not affect the board.
+        """
+        added = 0
+        with self._lock:
+            for domain, score in scored_domains:
+                if score < self.prior_threshold:
+                    continue
+                entry = self._board.get(domain)
+                if entry is None:
+                    self._board[domain] = BoardEntry(
+                        domain=domain,
+                        score=score,
+                        tenants=frozenset({tenant_id}),
+                        first_day=day,
+                    )
+                else:
+                    self._board[domain] = BoardEntry(
+                        domain=domain,
+                        score=max(entry.score, score),
+                        tenants=entry.tenants | {tenant_id},
+                        first_day=min(entry.first_day, day),
+                    )
+                added += 1
+        return added
+
+    def seeds_for(self, tenant_id: str) -> frozenset[str]:
+        """Domains other tenants confirmed -- this tenant's elevated
+        priors.  A tenant is never seeded with only its own findings."""
+        with self._lock:
+            seeds = frozenset(
+                entry.domain
+                for entry in self._board.values()
+                if entry.tenants != frozenset({tenant_id})
+            )
+            self.seeds_served += len(seeds)
+        return seeds
+
+    @property
+    def board(self) -> dict[str, BoardEntry]:
+        with self._lock:
+            return dict(self._board)
+
+    # ------------------------------------------------------------------
+    # Persistence (fleet checkpoint)
+    # ------------------------------------------------------------------
+
+    def encode(self) -> dict[str, Any]:
+        """JSON-serializable snapshot (board + cache accounting).
+
+        Cache *contents* for VT are persisted (they are plain verdicts);
+        WHOIS records are re-fetchable from the attached database and
+        only their accounting is kept.
+        """
+        with self._lock:
+            return {
+                "prior_threshold": self.prior_threshold,
+                "board": {
+                    entry.domain: {
+                        "score": entry.score,
+                        "tenants": sorted(entry.tenants),
+                        "first_day": entry.first_day,
+                    }
+                    for entry in self._board.values()
+                },
+                "vt_entries": {
+                    domain: [value, owner]
+                    for domain, (value, owner)
+                    in self.vt_cache._entries.items()
+                },
+                "vt_stats": self.vt_cache.stats.as_dict(),
+                "whois_stats": self.whois_cache.stats.as_dict(),
+                "seeds_served": self.seeds_served,
+            }
+
+    def restore(self, payload: dict[str, Any]) -> None:
+        """Refill the board and accounting from :meth:`encode` output."""
+        with self._lock:
+            self.prior_threshold = float(payload["prior_threshold"])
+            self._board = {
+                str(domain): BoardEntry(
+                    domain=str(domain),
+                    score=float(entry["score"]),
+                    tenants=frozenset(entry["tenants"]),
+                    first_day=int(entry["first_day"]),
+                )
+                for domain, entry in payload["board"].items()
+            }
+            self.vt_cache._entries = {
+                str(domain): (value, str(owner))
+                for domain, (value, owner) in payload["vt_entries"].items()
+            }
+            self.vt_cache.stats = CacheStats(**payload["vt_stats"])
+            self.whois_cache.stats = CacheStats(**payload["whois_stats"])
+            self.seeds_served = int(payload["seeds_served"])

@@ -1,0 +1,470 @@
+"""Fleet orchestration: one detection engine per tenant, run in step.
+
+The :class:`FleetManager` owns one
+:class:`~repro.streaming.StreamingDetector` per enterprise tenant and
+advances all of them through their log directories in **day-barrier
+rounds**: round ``k`` feeds every tenant its ``k``-th daily log file,
+and only when all tenants have finished the round are their detections
+published to the shared :class:`~repro.fleet.intel.IntelPlane`.  The
+seeds a tenant receives for day ``k`` are therefore exactly the fleet's
+confirmed domains through day ``k - 1`` -- independent of how many
+workers advanced the tenants concurrently, which is what makes
+``--workers 1`` and ``--workers N`` produce identical per-tenant
+detections (the parity the tests enforce).
+
+Two executors:
+
+``thread``
+    engines stay in memory; tenants of one round run on a
+    ``ThreadPoolExecutor``.  Checkpointing is optional.
+``process``
+    tenants of one round run on a ``ProcessPoolExecutor``; engine
+    state travels through the per-tenant checkpoint files (the worker
+    loads the checkpoint, advances one day, writes it back), so a
+    checkpoint directory is required -- real parallelism, paid for
+    with serialization.
+
+Per-tenant checkpoints live at ``<dir>/<tenant>/checkpoint.json`` and
+wrap the engine snapshot *and* the day's report in one atomic document
+(:func:`repro.state.save_json_atomic`), so a crash between a tenant
+finishing its day and the round barrier loses nothing: on resume the
+embedded report is re-published at the proper barrier.  The fleet-level
+document ``<dir>/fleet.json`` (intel board + completed-round cursor)
+is written at each barrier.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from collections.abc import Sequence, Set
+from pathlib import Path
+from typing import Any
+
+from ..config import SystemConfig
+from ..logs.dns import parse_dns_log
+from ..state import (
+    decode_config,
+    encode_config,
+    load_json,
+    restore_streaming,
+    save_json_atomic,
+    streaming_state,
+)
+from ..streaming import StreamingDetector, StreamDayReport
+from .intel import IntelPlane
+from .manifest import FleetManifest, TenantSpec
+from .report import FleetReport, TenantDayReport
+
+FLEET_STATE_VERSION = 1
+
+
+class FleetError(RuntimeError):
+    """Raised on fleet configuration or checkpoint problems."""
+
+
+# ---------------------------------------------------------------------------
+# One tenant, one day (shared by both executors)
+# ---------------------------------------------------------------------------
+
+def _advance_one_day(
+    detector: StreamingDetector,
+    spec_id: str,
+    path: Path,
+    *,
+    bootstrap: bool,
+    seeds: Set[str],
+) -> TenantDayReport | None:
+    """Feed one log file through a tenant's engine; close the day."""
+    with path.open() as handle:
+        detector.submit_raw(parse_dns_log(handle))
+    detector.poll()
+    report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
+    if bootstrap:
+        return None
+    return TenantDayReport(
+        tenant_id=spec_id,
+        day=report.day,
+        source=path.name,
+        records=report.records,
+        rare_count=len(report.rare_domains),
+        cc_domains=set(report.cc_domains),
+        detected=list(report.detected),
+        intel_seeded=set(report.intel_seeded),
+        scores=_scored_detections(report),
+    )
+
+
+def _scored_detections(report: StreamDayReport) -> dict[str, float]:
+    """Publication scores: seed/C&C labels count as confirmed (1.0),
+    similarity labels keep their labeling score."""
+    scores: dict[str, float] = {}
+    if report.bp_result is not None:
+        for detection in report.bp_result.detections:
+            if detection.reason in ("seed", "cc"):
+                scores[detection.domain] = 1.0
+            else:
+                scores[detection.domain] = detection.score
+    for domain in report.detected:
+        scores.setdefault(domain, 1.0)
+    return scores
+
+
+def _tenant_checkpoint_path(checkpoint_dir: Path, tenant_id: str) -> Path:
+    return checkpoint_dir / tenant_id / "checkpoint.json"
+
+
+def _save_tenant_checkpoint(
+    detector: StreamingDetector,
+    path: Path,
+    report: TenantDayReport | None,
+) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_json_atomic(
+        {
+            "version": FLEET_STATE_VERSION,
+            "kind": "fleet-tenant",
+            "engine": streaming_state(detector),
+            "report": report.as_dict() if report is not None else None,
+        },
+        path,
+    )
+
+
+def _load_tenant_checkpoint(path: Path) -> dict[str, Any]:
+    """Read a tenant checkpoint wrapper, validating its schema."""
+    wrapper = load_json(path)
+    if wrapper.get("kind") != "fleet-tenant" or "engine" not in wrapper:
+        raise FleetError(
+            f"{path} is not a fleet tenant checkpoint "
+            f"(kind={wrapper.get('kind')!r})"
+        )
+    return wrapper
+
+
+def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
+    """Advance one tenant one day inside a worker process.
+
+    Engine state rides in the tenant checkpoint: load (or create), feed
+    the day's file, write the checkpoint back with the embedded report.
+    Everything crossing the process boundary is plain JSON-able data.
+    """
+    checkpoint_path = Path(payload["checkpoint_path"])
+    if checkpoint_path.exists():
+        wrapper = _load_tenant_checkpoint(checkpoint_path)
+        detector = restore_streaming(wrapper["engine"])
+    else:
+        detector = StreamingDetector(
+            config=(
+                decode_config(payload["config"])
+                if payload["config"] is not None else None
+            ),
+            internal_suffixes=tuple(payload["internal_suffixes"]),
+            server_ips=frozenset(payload["server_ips"]),
+        )
+    report = _advance_one_day(
+        detector,
+        payload["tenant_id"],
+        Path(payload["log_path"]),
+        bootstrap=payload["bootstrap"],
+        seeds=frozenset(payload["seeds"]),
+    )
+    _save_tenant_checkpoint(detector, checkpoint_path, report)
+    return report.as_dict() if report is not None else None
+
+
+# ---------------------------------------------------------------------------
+# The fleet
+# ---------------------------------------------------------------------------
+
+class FleetManager:
+    """Drives N per-tenant engines with a shared intel plane."""
+
+    def __init__(
+        self,
+        specs: Sequence[TenantSpec],
+        *,
+        intel: IntelPlane | None = None,
+        config: SystemConfig | None = None,
+        workers: int = 1,
+        executor: str = "thread",
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
+        if not specs:
+            raise FleetError("fleet needs at least one tenant")
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.tenant_id in seen:
+                raise FleetError(f"duplicate tenant id {spec.tenant_id!r}")
+            seen.add(spec.tenant_id)
+        if workers < 1:
+            raise FleetError("workers must be positive")
+        if executor not in ("thread", "process"):
+            raise FleetError(
+                f"unknown executor {executor!r} (use 'thread' or 'process')"
+            )
+        if resume and checkpoint_dir is None:
+            raise FleetError("resume requires a checkpoint directory")
+        self._transport_dir: tempfile.TemporaryDirectory | None = None
+        if executor == "process" and checkpoint_dir is None:
+            # Engine state travels through checkpoints in process mode;
+            # without an operator-chosen directory the checkpoints are
+            # pure transport, removed when run() returns.
+            self._transport_dir = tempfile.TemporaryDirectory(
+                prefix="fleet-ckpt-"
+            )
+            checkpoint_dir = Path(self._transport_dir.name)
+        self.specs = list(specs)
+        self.intel = intel if intel is not None else IntelPlane()
+        self.config = config
+        self.workers = workers
+        self.executor = executor
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.resume = resume
+        self.engines: dict[str, StreamingDetector] = {}
+
+    @classmethod
+    def from_manifest(cls, manifest: FleetManifest, **kwargs) -> "FleetManager":
+        """Build a fleet (and its VT-fed intel plane) from a manifest."""
+        if "intel" not in kwargs and manifest.vt_reported is not None:
+            from ..intel.virustotal import VirusTotalOracle
+
+            kwargs["intel"] = IntelPlane(
+                vt=VirusTotalOracle(manifest.vt_reported, coverage=1.0)
+            )
+        return cls(manifest.tenants, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _tenant_files(self) -> dict[str, list[Path]]:
+        files: dict[str, list[Path]] = {}
+        for spec in self.specs:
+            found = sorted(spec.directory.glob(spec.pattern))
+            if len(found) <= spec.bootstrap_files:
+                raise FleetError(
+                    f"tenant {spec.tenant_id!r}: need more than "
+                    f"{spec.bootstrap_files} files matching {spec.pattern!r} "
+                    f"in {spec.directory}, found {len(found)}"
+                )
+            files[spec.tenant_id] = found
+        return files
+
+    def _fleet_state_path(self) -> Path:
+        assert self.checkpoint_dir is not None
+        return self.checkpoint_dir / "fleet.json"
+
+    def _save_fleet_state(self, rounds: int) -> None:
+        if self.checkpoint_dir is None:
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        save_json_atomic(
+            {
+                "version": FLEET_STATE_VERSION,
+                "kind": "fleet",
+                "rounds": rounds,
+                "intel": self.intel.encode(),
+            },
+            self._fleet_state_path(),
+        )
+
+    def _restore(self) -> tuple[int, dict[str, int], list[TenantDayReport]]:
+        """Resume state: (completed rounds, per-tenant cursor, reports
+        recovered from tenants that finished a round the fleet never
+        committed)."""
+        state_path = self._fleet_state_path()
+        if not state_path.exists():
+            raise FleetError(f"no fleet checkpoint at {state_path}")
+        payload = load_json(state_path)
+        if payload.get("kind") != "fleet":
+            raise FleetError(f"{state_path} is not a fleet checkpoint")
+        rounds = int(payload["rounds"])
+        self.intel.restore(payload["intel"])
+        cursors: dict[str, int] = {}
+        carried: list[TenantDayReport] = []
+        for spec in self.specs:
+            ckpt = _tenant_checkpoint_path(self.checkpoint_dir, spec.tenant_id)
+            if not ckpt.exists():
+                raise FleetError(
+                    f"no checkpoint for tenant {spec.tenant_id!r}: {ckpt}"
+                )
+            wrapper = _load_tenant_checkpoint(ckpt)
+            cursors[spec.tenant_id] = int(wrapper["engine"]["window"]["day"])
+            if self.executor == "thread":
+                self.engines[spec.tenant_id] = restore_streaming(
+                    wrapper["engine"]
+                )
+            if cursors[spec.tenant_id] > rounds and wrapper["report"]:
+                # The tenant finished a round the fleet never committed
+                # (crash between task and barrier): re-publish its
+                # report at the proper barrier.
+                carried.append(TenantDayReport.from_dict(wrapper["report"]))
+        return rounds, cursors, carried
+
+    def _fresh_start(self) -> dict[str, int]:
+        cursors = {spec.tenant_id: 0 for spec in self.specs}
+        if self.checkpoint_dir is not None and self.checkpoint_dir.is_dir():
+            # A stale fleet document would make a later --resume skip
+            # this run's rounds and seed from the old run's board.
+            self._fleet_state_path().unlink(missing_ok=True)
+        for spec in self.specs:
+            if self.executor == "thread":
+                self.engines[spec.tenant_id] = StreamingDetector(
+                    config=self.config,
+                    internal_suffixes=spec.internal_suffixes,
+                    server_ips=spec.server_ips,
+                )
+            if self.checkpoint_dir is not None:
+                # A stale checkpoint would shadow the fresh run.
+                ckpt = _tenant_checkpoint_path(
+                    self.checkpoint_dir, spec.tenant_id
+                )
+                ckpt.unlink(missing_ok=True)
+        return cursors
+
+    # ------------------------------------------------------------------
+
+    def _submit_tenant(
+        self,
+        pool: Executor,
+        spec: TenantSpec,
+        path: Path,
+        *,
+        bootstrap: bool,
+        seeds: frozenset[str],
+    ):
+        if self.executor == "process":
+            ckpt = _tenant_checkpoint_path(self.checkpoint_dir, spec.tenant_id)
+            ckpt.parent.mkdir(parents=True, exist_ok=True)
+            return pool.submit(_process_worker, {
+                "tenant_id": spec.tenant_id,
+                "checkpoint_path": str(ckpt),
+                "log_path": str(path),
+                "bootstrap": bootstrap,
+                "seeds": sorted(seeds),
+                "internal_suffixes": list(spec.internal_suffixes),
+                "server_ips": sorted(spec.server_ips),
+                "config": (
+                    encode_config(self.config)
+                    if self.config is not None else None
+                ),
+            })
+
+        detector = self.engines[spec.tenant_id]
+
+        def task() -> TenantDayReport | None:
+            report = _advance_one_day(
+                detector, spec.tenant_id, path,
+                bootstrap=bootstrap, seeds=seeds,
+            )
+            if self.checkpoint_dir is not None:
+                _save_tenant_checkpoint(
+                    detector,
+                    _tenant_checkpoint_path(
+                        self.checkpoint_dir, spec.tenant_id
+                    ),
+                    report,
+                )
+            return report
+
+        return pool.submit(task)
+
+    def run(
+        self,
+        *,
+        max_rounds: int | None = None,
+        on_round=None,
+    ) -> FleetReport:
+        """Advance every tenant through its directory; aggregate.
+
+        ``max_rounds`` bounds the number of day-barrier rounds this
+        call executes (the fleet returns ``interrupted=True``); with a
+        checkpoint directory, a later ``resume=True`` run continues at
+        the next round.  ``on_round`` is called with the list of
+        :class:`TenantDayReport` after each barrier.
+        """
+        try:
+            return self._run(max_rounds=max_rounds, on_round=on_round)
+        finally:
+            if self._transport_dir is not None:
+                self._transport_dir.cleanup()
+                self._transport_dir = None
+
+    def _run(self, *, max_rounds, on_round) -> FleetReport:
+        files = self._tenant_files()
+        if self.resume:
+            start_round, cursors, carried = self._restore()
+        else:
+            cursors = self._fresh_start()
+            start_round, carried = 0, []
+        total_rounds = max(len(f) for f in files.values())
+
+        report = FleetReport(intel=self.intel)
+        rounds_executed = 0
+        pool_cls = (
+            ProcessPoolExecutor if self.executor == "process"
+            else ThreadPoolExecutor
+        )
+        with pool_cls(max_workers=self.workers) as pool:
+            for rnd in range(start_round, total_rounds):
+                if max_rounds is not None and rounds_executed >= max_rounds:
+                    report.interrupted = True
+                    break
+                futures: dict[str, Any] = {}
+                for spec in self.specs:
+                    tenant_files = files[spec.tenant_id]
+                    if rnd >= len(tenant_files):
+                        continue
+                    if cursors[spec.tenant_id] > rnd:
+                        continue  # recovered past this round already
+                    bootstrap = rnd < spec.bootstrap_files
+                    seeds = (
+                        frozenset() if bootstrap
+                        else self.intel.seeds_for(spec.tenant_id)
+                    )
+                    futures[spec.tenant_id] = self._submit_tenant(
+                        pool, spec, tenant_files[rnd],
+                        bootstrap=bootstrap, seeds=seeds,
+                    )
+
+                # Barrier: collect in spec order (deterministic), then
+                # publish so day rnd+1 sees all of day rnd's findings.
+                round_reports: list[TenantDayReport] = []
+                for spec in self.specs:
+                    future = futures.get(spec.tenant_id)
+                    if future is None:
+                        continue
+                    result = future.result()
+                    cursors[spec.tenant_id] = rnd + 1
+                    if result is None:
+                        continue
+                    if isinstance(result, dict):
+                        result = TenantDayReport.from_dict(result)
+                    round_reports.append(result)
+                round_reports.extend(c for c in carried if c.day == rnd)
+
+                for day_report in round_reports:
+                    self.intel.publish(
+                        day_report.tenant_id,
+                        day_report.day,
+                        day_report.scores.items(),
+                    )
+                    for domain in day_report.detected:
+                        report.vt_labels[domain] = self.intel.vt_reported(
+                            day_report.tenant_id, domain
+                        )
+                report.days.extend(
+                    sorted(round_reports, key=lambda r: r.tenant_id)
+                )
+                rounds_executed += 1
+                report.rounds = rnd + 1
+                self._save_fleet_state(rnd + 1)
+                if on_round is not None:
+                    on_round(round_reports)
+        return report

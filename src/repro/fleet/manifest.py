@@ -1,0 +1,147 @@
+"""Tenant manifest: the on-disk description of a detection fleet.
+
+A fleet is declared by one JSON document listing the enterprises to
+run, each with its own log directory and reduction filters, plus an
+optional shared VT feed::
+
+    {
+      "version": 1,
+      "vt_reported": "intel/vt_reported.txt",
+      "tenants": [
+        {
+          "id": "acme",
+          "directory": "acme/logs",
+          "bootstrap_files": 1,
+          "pattern": "dns-*.log",
+          "internal_suffixes": ["int.c0"],
+          "server_ips": ["172.17.2.1"]
+        }
+      ]
+    }
+
+Relative paths resolve against the manifest's own directory, so a
+generated fleet layout is relocatable.  All validation errors raise
+:class:`ManifestError` with a one-line message -- the CLI turns these
+into a non-zero exit instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+MANIFEST_VERSION = 1
+
+
+class ManifestError(RuntimeError):
+    """Raised on unreadable or invalid fleet manifests."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One enterprise tenant: where its logs live, how to reduce them."""
+
+    tenant_id: str
+    directory: Path
+    bootstrap_files: int = 1
+    pattern: str = "dns-*.log"
+    internal_suffixes: tuple[str, ...] = ()
+    server_ips: frozenset[str] = frozenset()
+
+
+@dataclass
+class FleetManifest:
+    """Parsed manifest: tenant specs plus the shared intel inputs."""
+
+    tenants: list[TenantSpec]
+    vt_reported: set[str] | None = None
+    """Domains the shared VT feed reports, or ``None`` without a feed."""
+
+    path: Path | None = field(default=None, repr=False)
+
+
+def _tenant_from_payload(
+    index: int, payload: Any, base: Path
+) -> TenantSpec:
+    if not isinstance(payload, dict):
+        raise ManifestError(f"tenant #{index}: expected an object")
+    tenant_id = payload.get("id")
+    if not isinstance(tenant_id, str) or not tenant_id:
+        raise ManifestError(f"tenant #{index}: missing or empty 'id'")
+    directory = payload.get("directory")
+    if not isinstance(directory, str) or not directory:
+        raise ManifestError(f"tenant {tenant_id!r}: missing 'directory'")
+    resolved = (base / directory).resolve()
+    if not resolved.is_dir():
+        raise ManifestError(
+            f"tenant {tenant_id!r}: directory not found: {resolved}"
+        )
+    bootstrap_files = payload.get("bootstrap_files", 1)
+    if not isinstance(bootstrap_files, int) or bootstrap_files < 0:
+        raise ManifestError(
+            f"tenant {tenant_id!r}: 'bootstrap_files' must be a "
+            "non-negative integer"
+        )
+    for key in ("internal_suffixes", "server_ips"):
+        value = payload.get(key, [])
+        # A bare string would silently explode into per-character
+        # entries and corrupt the reduction filters.
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ManifestError(
+                f"tenant {tenant_id!r}: {key!r} must be a list of strings"
+            )
+    return TenantSpec(
+        tenant_id=tenant_id,
+        directory=resolved,
+        bootstrap_files=bootstrap_files,
+        pattern=str(payload.get("pattern", "dns-*.log")),
+        internal_suffixes=tuple(payload.get("internal_suffixes", ())),
+        server_ips=frozenset(payload.get("server_ips", ())),
+    )
+
+
+def load_manifest(path: str | Path) -> FleetManifest:
+    """Parse and validate a fleet manifest file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ManifestError(f"manifest not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"manifest {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ManifestError(f"manifest {path}: expected a JSON object")
+    version = payload.get("version", MANIFEST_VERSION)
+    if version != MANIFEST_VERSION:
+        raise ManifestError(f"unsupported manifest version {version!r}")
+    raw_tenants = payload.get("tenants")
+    if not isinstance(raw_tenants, list) or not raw_tenants:
+        raise ManifestError(f"manifest {path}: 'tenants' must be a non-empty list")
+
+    base = path.parent
+    tenants = [
+        _tenant_from_payload(index, entry, base)
+        for index, entry in enumerate(raw_tenants)
+    ]
+    seen: set[str] = set()
+    for spec in tenants:
+        if spec.tenant_id in seen:
+            raise ManifestError(f"duplicate tenant id {spec.tenant_id!r}")
+        seen.add(spec.tenant_id)
+
+    vt_reported = None
+    vt_path = payload.get("vt_reported")
+    if vt_path is not None:
+        vt_file = (base / str(vt_path)).resolve()
+        if not vt_file.is_file():
+            raise ManifestError(f"vt_reported file not found: {vt_file}")
+        vt_reported = {
+            line.strip()
+            for line in vt_file.read_text().splitlines()
+            if line.strip()
+        }
+    return FleetManifest(tenants=tenants, vt_reported=vt_reported, path=path)

@@ -1,0 +1,199 @@
+"""Fleet-level reporting: per-tenant detections plus cross-tenant views.
+
+A fleet run produces one :class:`TenantDayReport` per (tenant, day)
+and aggregates them into a :class:`FleetReport`:
+
+* per-tenant totals (records, rare domains, detections, how many came
+  from intel seeding);
+* **cross-tenant overlap** -- domains detected in two or more tenants,
+  the fleet's version of the paper's observation that community
+  feedback concentrates on shared attacker infrastructure;
+* VT classification of every detected domain through the shared cache
+  (``reported`` / ``unreported`` / ``unknown`` without a feed), i.e.
+  the paper's known-malicious vs candidate-new-discovery split;
+* the intel plane's cache and seeding accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..eval.reporting import render_table
+from .intel import IntelPlane
+
+
+@dataclass
+class TenantDayReport:
+    """What one tenant produced for one operational day."""
+
+    tenant_id: str
+    day: int
+    source: str
+    """Basename of the log file the day came from."""
+
+    records: int
+    rare_count: int
+    cc_domains: set[str] = field(default_factory=set)
+    detected: list[str] = field(default_factory=list)
+    intel_seeded: set[str] = field(default_factory=set)
+    scores: dict[str, float] = field(default_factory=dict)
+    """Publication scores per detected domain (seed/C&C labels are 1.0)."""
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tenant_id": self.tenant_id,
+            "day": self.day,
+            "source": self.source,
+            "records": self.records,
+            "rare_count": self.rare_count,
+            "cc_domains": sorted(self.cc_domains),
+            "detected": list(self.detected),
+            "intel_seeded": sorted(self.intel_seeded),
+            "scores": dict(self.scores),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TenantDayReport":
+        return cls(
+            tenant_id=str(payload["tenant_id"]),
+            day=int(payload["day"]),
+            source=str(payload["source"]),
+            records=int(payload["records"]),
+            rare_count=int(payload["rare_count"]),
+            cc_domains=set(payload["cc_domains"]),
+            detected=list(payload["detected"]),
+            intel_seeded=set(payload["intel_seeded"]),
+            scores={
+                str(domain): float(score)
+                for domain, score in payload.get("scores", {}).items()
+            },
+        )
+
+
+@dataclass
+class FleetReport:
+    """Aggregated outcome of one fleet run."""
+
+    days: list[TenantDayReport] = field(default_factory=list)
+    rounds: int = 0
+    interrupted: bool = False
+    vt_labels: dict[str, bool | None] = field(default_factory=dict)
+    intel: IntelPlane | None = field(default=None, repr=False)
+
+    @property
+    def tenant_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for report in self.days:
+            seen.setdefault(report.tenant_id, None)
+        return list(seen)
+
+    def days_for(self, tenant_id: str) -> list[TenantDayReport]:
+        return [r for r in self.days if r.tenant_id == tenant_id]
+
+    def detected_by_tenant(self) -> dict[str, set[str]]:
+        out: dict[str, set[str]] = defaultdict(set)
+        for report in self.days:
+            out[report.tenant_id].update(report.detected)
+        return dict(out)
+
+    def overlap(self) -> list[tuple[str, tuple[str, ...]]]:
+        """Domains detected in >= 2 tenants, with their tenant lists."""
+        tenants_by_domain: dict[str, set[str]] = defaultdict(set)
+        for report in self.days:
+            for domain in report.detected:
+                tenants_by_domain[domain].add(report.tenant_id)
+        return sorted(
+            (domain, tuple(sorted(tenants)))
+            for domain, tenants in tenants_by_domain.items()
+            if len(tenants) >= 2
+        )
+
+    def seeded_detections(self) -> int:
+        return sum(len(r.intel_seeded) for r in self.days)
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary (for --json and the benchmark)."""
+        detected = self.detected_by_tenant()
+        payload: dict[str, Any] = {
+            "rounds": self.rounds,
+            "interrupted": self.interrupted,
+            "tenants": {
+                tenant_id: {
+                    "days": [r.as_dict() for r in self.days_for(tenant_id)],
+                    "detected": sorted(detected.get(tenant_id, ())),
+                }
+                for tenant_id in self.tenant_ids
+            },
+            "overlap": [
+                {"domain": domain, "tenants": list(tenants)}
+                for domain, tenants in self.overlap()
+            ],
+            "vt_labels": {
+                domain: label for domain, label in sorted(self.vt_labels.items())
+            },
+            "seeded_detections": self.seeded_detections(),
+        }
+        if self.intel is not None:
+            payload["intel"] = {
+                "vt": self.intel.vt_cache.stats.as_dict(),
+                "whois": self.intel.whois_cache.stats.as_dict(),
+                "board_size": len(self.intel.board),
+                "seeds_served": self.intel.seeds_served,
+            }
+        return payload
+
+    def render(self) -> str:
+        """Human-readable fleet summary (the CLI's output)."""
+        detected = self.detected_by_tenant()
+        rows = []
+        for tenant_id in sorted(self.tenant_ids):
+            days = self.days_for(tenant_id)
+            rows.append((
+                tenant_id,
+                len(days),
+                sum(r.records for r in days),
+                sum(r.rare_count for r in days),
+                len(detected.get(tenant_id, ())),
+                sum(len(r.intel_seeded) for r in days),
+            ))
+        lines = [render_table(
+            ("tenant", "days", "records", "rare", "detected", "seeded"),
+            rows,
+            title=f"Fleet detection report ({len(rows)} tenants, "
+                  f"{self.rounds} rounds)",
+        )]
+        overlap = self.overlap()
+        if overlap:
+            lines.append("")
+            lines.append(render_table(
+                ("domain", "tenants", "vt"),
+                [
+                    (
+                        domain,
+                        ",".join(tenants),
+                        _vt_label(self.vt_labels.get(domain)),
+                    )
+                    for domain, tenants in overlap
+                ],
+                title="Cross-tenant overlap (domains seen in >= 2 tenants)",
+            ))
+        if self.intel is not None:
+            vt = self.intel.vt_cache.stats
+            lines.append("")
+            lines.append(
+                f"intel plane: vt lookups {vt.hits} hits / {vt.misses} "
+                f"misses ({vt.cross_tenant_hits} cross-tenant), "
+                f"board {len(self.intel.board)} domains, "
+                f"{self.seeded_detections()} seeded detections"
+            )
+        return "\n".join(lines)
+
+
+def _vt_label(value: bool | None) -> str:
+    if value is None:
+        return "unknown"
+    return "reported" if value else "new"

@@ -16,7 +16,7 @@ for the SOC-hints mode.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Sequence, Set
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,6 +51,8 @@ class DayDetection:
     cc_domains: set[str]
     detected: list[str]
     bp_result: BeliefPropagationResult | None
+    intel_seeded: set[str] = field(default_factory=set)
+    """Rare domains seeded from shared intelligence (fleet mode)."""
 
 
 def detect_on_traffic(
@@ -61,6 +63,7 @@ def detect_on_traffic(
     scorer: AdditiveSimilarityScorer,
     config: SystemConfig,
     hint_hosts: Sequence[str] = (),
+    intel_domains: Set[str] = frozenset(),
 ) -> DayDetection:
     """The DNS-path daily detection stages on one day of traffic.
 
@@ -71,6 +74,14 @@ def detect_on_traffic(
     test over rare (host, domain) series, the multi-host beaconing C&C
     heuristic, then belief propagation seeded by C&C hits (no-hint
     mode) or by SOC hint hosts.
+
+    ``intel_domains`` carries externally confirmed malicious domains
+    (a fleet's shared intel plane, a SOC blocklist).  Those that are
+    *rare today* in this traffic enter belief propagation as seed
+    labels -- the paper's community-feedback amplification: a domain
+    confirmed in one enterprise elevates the prior everywhere it
+    appears, even where local evidence (e.g. a single beaconing host)
+    would not fire the C&C heuristic on its own.
     """
     series = [
         (key, times)
@@ -82,6 +93,7 @@ def detect_on_traffic(
         domain for domain in {v.domain for v in verdicts}
         if multi_host_beacon_heuristic(domain, verdicts, traffic)
     }
+    intel_seeded = set(intel_domains) & rare
 
     seed_hosts: set[str] = set(hint_hosts)
     seed_domains: set[str] = set()
@@ -89,6 +101,9 @@ def detect_on_traffic(
         seed_domains = set(cc)
         for domain in cc:
             seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+    seed_domains |= intel_seeded
+    for domain in intel_seeded:
+        seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
 
     bp_result = None
     detected: list[str] = []
@@ -106,7 +121,12 @@ def detect_on_traffic(
             config=config.belief_propagation,
         )
         detected = sorted(seed_domains) + bp_result.detected_domains
-    return DayDetection(cc_domains=cc, detected=detected, bp_result=bp_result)
+    return DayDetection(
+        cc_domains=cc,
+        detected=detected,
+        bp_result=bp_result,
+        intel_seeded=intel_seeded,
+    )
 
 
 @dataclass

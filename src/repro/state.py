@@ -367,28 +367,36 @@ def restore_streaming(payload: dict[str, Any]):
     return detector
 
 
-def save_streaming(detector, path: str | Path) -> None:
-    """Write a streaming detector's checkpoint to ``path`` as JSON.
+def save_json_atomic(payload: dict[str, Any], path: str | Path) -> None:
+    """Serialize ``payload`` to ``path`` atomically (temp file + rename).
 
-    The write is atomic (temp file + rename): checkpoints are written
-    continuously while streaming, and a crash mid-write must never
-    destroy the previous good checkpoint -- that file is exactly what
-    ``--resume`` needs afterwards.
+    Checkpoints are written continuously while streaming (and
+    concurrently across fleet tenants), and a crash mid-write must
+    never destroy the previous good document -- that file is exactly
+    what ``--resume`` needs afterwards.
     """
     path = Path(path)
-    payload = json.dumps(streaming_state(detector))
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(payload)
+    tmp.write_text(json.dumps(payload))
     os.replace(tmp, path)
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a JSON state document, wrapping parse errors in StateError."""
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise StateError(f"corrupt state file {path}: {exc}") from exc
+
+
+def save_streaming(detector, path: str | Path) -> None:
+    """Write a streaming detector's checkpoint to ``path`` as JSON."""
+    save_json_atomic(streaming_state(detector), path)
 
 
 def load_streaming(path: str | Path):
     """Restore a checkpoint previously saved with :func:`save_streaming`."""
-    try:
-        payload = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise StateError(f"corrupt state file {path}: {exc}") from exc
-    return restore_streaming(payload)
+    return restore_streaming(load_json(path))
 
 
 def save_detector(detector: EnterpriseDetector, path: str | Path) -> None:

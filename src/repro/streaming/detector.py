@@ -26,7 +26,7 @@ round's beliefs unless too much of the graph is dirty.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Sequence, Set
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -47,6 +47,7 @@ from .incremental import (
     WarmStartConfig,
     warm_start_belief_propagation,
 )
+from .verdicts import SeriesVerdictCache, VerdictCacheStats
 from .window import WindowedAggregator
 
 
@@ -79,6 +80,8 @@ class StreamDayReport:
     cc_domains: set[str]
     detected: list[str]
     bp_result: BeliefPropagationResult | None = None
+    intel_seeded: set[str] = field(default_factory=set)
+    """Domains seeded from shared intelligence (fleet mode)."""
 
 
 class StreamingDetector:
@@ -118,7 +121,14 @@ class StreamingDetector:
         self.prior: BeliefPropagationResult | None = None
         self._verdicts: dict[tuple[str, str], AutomationVerdict] = {}
         self._stale_pairs: set[tuple[str, str]] = set()
+        self._series_cache = SeriesVerdictCache(self.automation)
+        self._pending_times: dict[tuple[str, str], list[float]] = {}
         self.events_total = 0
+
+    @property
+    def verdict_stats(self) -> VerdictCacheStats:
+        """Skip/test counters of the period-aware verdict cache."""
+        return self._series_cache.stats
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -152,6 +162,10 @@ class StreamingDetector:
     def _ingest(self, batch: Sequence[Connection]) -> None:
         self.window.ingest(batch)
         self.events_total += len(batch)
+        for conn in batch:
+            self._pending_times.setdefault(
+                (conn.host, conn.domain), []
+            ).append(conn.timestamp)
         dirty_pairs, flips = self.window.drain_changes()
         rare = self.window.rare
         for domain in flips:
@@ -163,6 +177,7 @@ class StreamingDetector:
                 self.graph.remove_domain(domain)
                 for host in self.window.traffic.hosts_by_domain[domain]:
                     self._verdicts.pop((host, domain), None)
+                    self._series_cache.invalidate((host, domain))
         for host, domain in dirty_pairs:
             if domain in rare:
                 self.graph.add_edge(host, domain)
@@ -173,22 +188,33 @@ class StreamingDetector:
     # ------------------------------------------------------------------
 
     def _refresh_verdicts(self) -> list[AutomationVerdict]:
-        """Re-test only (host, domain) series with new events."""
+        """Re-test only (host, domain) series with new events.
+
+        The :class:`SeriesVerdictCache` makes each re-test proportional
+        to the *new* events: short series skip the histogram entirely,
+        append-only arrivals extend the cached clusters, and on-period
+        beacons skip even the divergence recomputation.
+        """
         self.window.traffic.finalize()
         rare = self.window.rare
         for pair in self._stale_pairs:
             host, domain = pair
+            new_times = self._pending_times.pop(pair, ())
             if domain not in rare:
                 self._verdicts.pop(pair, None)
+                self._series_cache.count_not_rare_skip()
                 continue
-            verdict = self.automation.test_series(
-                host, domain, self.window.traffic.timestamps.get(pair, [])
+            verdict = self._series_cache.test(
+                host, domain,
+                self.window.traffic.timestamps.get(pair, []),
+                new_times,
             )
             if verdict.automated:
                 self._verdicts[pair] = verdict
             else:
                 self._verdicts.pop(pair, None)
         self._stale_pairs.clear()
+        self._pending_times.clear()
         return [self._verdicts[pair] for pair in sorted(self._verdicts)]
 
     def score(self, *, hint_hosts: Sequence[str] = ()) -> StreamUpdate:
@@ -266,7 +292,11 @@ class StreamingDetector:
     # ------------------------------------------------------------------
 
     def rollover(
-        self, *, detect: bool = True, hint_hosts: Sequence[str] = ()
+        self,
+        *,
+        detect: bool = True,
+        hint_hosts: Sequence[str] = (),
+        intel_domains: Set[str] = frozenset(),
     ) -> StreamDayReport:
         """Close the day: batch-parity detection, then commit histories.
 
@@ -276,6 +306,11 @@ class StreamingDetector:
         :class:`~repro.runner.DnsLogRunner` produces for the same
         records.  Histories commit exactly once, in
         :meth:`WindowedAggregator.rollover`.
+
+        ``intel_domains`` are externally confirmed malicious domains
+        (e.g. another tenant's detections shared through a fleet's
+        intel plane); those that are rare today seed belief propagation
+        directly -- see :func:`repro.runner.detect_on_traffic`.
         """
         traffic = self.window.traffic
         traffic.finalize()
@@ -292,6 +327,7 @@ class StreamingDetector:
                 scorer=self.scorer,
                 config=self.config,
                 hint_hosts=hint_hosts,
+                intel_domains=intel_domains,
             )
             report = StreamDayReport(
                 day=self.window.day,
@@ -300,6 +336,7 @@ class StreamingDetector:
                 cc_domains=detection.cc_domains,
                 detected=detection.detected,
                 bp_result=detection.bp_result,
+                intel_seeded=detection.intel_seeded,
             )
         else:
             report = StreamDayReport(
@@ -314,6 +351,8 @@ class StreamingDetector:
         self.prior = None
         self._verdicts.clear()
         self._stale_pairs.clear()
+        self._series_cache.clear()
+        self._pending_times.clear()
         return report
 
     # ------------------------------------------------------------------
@@ -336,6 +375,8 @@ class StreamingDetector:
             self.window.traffic, self.window.rare
         )
         self._verdicts.clear()
+        self._series_cache.clear()
+        self._pending_times.clear()
         self._stale_pairs = set(self.window.traffic.timestamps)
 
 

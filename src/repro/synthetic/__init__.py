@@ -9,6 +9,13 @@ from .enterprise import (
     EnterpriseDatasetConfig,
     generate_enterprise_dataset,
 )
+from .fleet import (
+    FleetDataset,
+    FleetScenarioConfig,
+    SharedCampaignTruth,
+    generate_fleet_dataset,
+    write_fleet_layout,
+)
 from .ipspace import IpAllocator
 from .lanl import (
     CASE_DATES,
@@ -33,7 +40,12 @@ __all__ = [
     "build_enterprise",
     "EnterpriseDataset",
     "EnterpriseDatasetConfig",
+    "FleetDataset",
+    "FleetScenarioConfig",
+    "SharedCampaignTruth",
     "generate_enterprise_dataset",
+    "generate_fleet_dataset",
+    "write_fleet_layout",
     "IpAllocator",
     "CASE_DATES",
     "TRAINING_DATES",

@@ -1,0 +1,324 @@
+"""Correlated multi-enterprise worlds (the fleet scenario).
+
+The paper observes that community feedback (VT reports) amplifies
+detection across organizations; the fleet scenario makes that testable:
+``n_tenants`` independent LANL-style enterprise worlds -- each with its
+own hosts, benign workload and challenge campaigns -- plus **one shared
+attacker campaign** whose C&C infrastructure hits several tenants:
+
+* the **lead tenant** is hit first, with enough compromised hosts
+  (default two) for the multi-host beaconing heuristic to fire on its
+  own -- the tenant that "discovers" the campaign;
+* **follower tenants** are hit on a later date with a *single*
+  beaconing host each, below the heuristic's ``min_hosts`` -- locally
+  invisible to the no-hint LANL path, detectable only when the lead's
+  confirmation arrives as an elevated prior through the fleet's shared
+  intel plane.
+
+Shared-campaign names use the ``.c9`` label space (tenant worlds mint
+``.c1``-``.c4``/``.n*``), so cross-tenant overlap in a generated fleet
+is attacker infrastructure by construction, never a naming collision.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+from ..intel.virustotal import VirusTotalOracle
+from ..logs import format_dns_line
+from ..logs.records import DnsRecord, DnsRecordType
+from .dga import _syllables
+from .ipspace import IpAllocator
+from .lanl import LanlConfig, LanlDataset, generate_lanl_dataset
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class FleetScenarioConfig:
+    """Shape of a correlated multi-enterprise world."""
+
+    seed: int = 42
+    n_tenants: int = 3
+    tenant: LanlConfig = field(
+        default_factory=lambda: LanlConfig(n_hosts=60, bootstrap_days=3)
+    )
+    """Template for every tenant's world; seeds are derived per tenant."""
+
+    lead_date: int = 2
+    """March date the shared campaign hits the lead tenant."""
+
+    follower_date: int = 3
+    """March date the shared campaign reaches every follower tenant."""
+
+    lead_hosts: int = 2
+    """Compromised hosts in the lead tenant (>= 2 fires the multi-host
+    C&C heuristic locally)."""
+
+    follower_hosts: int = 1
+    """Compromised hosts per follower (1 stays below the heuristic --
+    detectable only through cross-tenant prior seeding)."""
+
+    shared_cc_domains: int = 1
+    shared_delivery_domains: int = 2
+    beacon_period: float = 600.0
+    beacon_jitter: float = 3.0
+    vt_coverage: float = 0.8
+    """Fraction of fleet-wide malicious domains the shared VT feed knows."""
+
+
+@dataclass(frozen=True)
+class SharedCampaignTruth:
+    """Ground truth of the cross-tenant campaign."""
+
+    cc_domains: tuple[str, ...]
+    delivery_domains: tuple[str, ...]
+    hosts_by_tenant: dict[str, tuple[str, ...]]
+    date_by_tenant: dict[str, int]
+
+    @property
+    def domains(self) -> tuple[str, ...]:
+        return self.delivery_domains + self.cc_domains
+
+
+@dataclass
+class FleetDataset:
+    """``n_tenants`` worlds plus the shared campaign ground truth."""
+
+    config: FleetScenarioConfig
+    tenants: dict[str, LanlDataset]
+    shared: SharedCampaignTruth
+    _injected: dict[tuple[str, int], list[DnsRecord]] = field(
+        repr=False, default_factory=dict
+    )
+    _merged_cache: dict[tuple[str, int], list[DnsRecord]] = field(
+        repr=False, default_factory=dict
+    )
+
+    @property
+    def tenant_ids(self) -> list[str]:
+        return list(self.tenants)
+
+    @property
+    def lead_tenant(self) -> str:
+        return self.tenant_ids[0]
+
+    @property
+    def follower_tenants(self) -> list[str]:
+        return self.tenant_ids[1:]
+
+    def tenant_day_records(
+        self, tenant_id: str, march_date: int
+    ) -> list[DnsRecord]:
+        """One tenant's full day: its own world + shared-campaign hits."""
+        key = (tenant_id, march_date)
+        cached = self._merged_cache.get(key)
+        if cached is None:
+            records = list(self.tenants[tenant_id].day_records(march_date))
+            records.extend(self._injected.get(key, ()))
+            records.sort(key=lambda r: r.timestamp)
+            self._merged_cache[key] = cached = records
+        return cached
+
+    def malicious_domains(self) -> set[str]:
+        """Fleet-wide ground-truth malicious set (all tenants + shared)."""
+        domains: set[str] = set(self.shared.domains)
+        for dataset in self.tenants.values():
+            for truth in dataset.campaigns:
+                domains.update(truth.malicious_domains)
+        return domains
+
+    def vt_oracle(self) -> VirusTotalOracle:
+        """The fleet's shared VT feed over the ground truth."""
+        return VirusTotalOracle(
+            self.malicious_domains(),
+            coverage=self.config.vt_coverage,
+            seed=self.config.seed,
+        )
+
+
+def _mint_shared_domains(rng: random.Random, count: int) -> list[str]:
+    issued: set[str] = set()
+    while len(issued) < count:
+        issued.add(f"{_syllables(rng, 3)}.c9")
+    return sorted(issued)
+
+
+def _inject_campaign(
+    dataset: LanlDataset,
+    march_date: int,
+    hosts: tuple[str, ...],
+    delivery: list[str],
+    cc: list[str],
+    domain_ips: dict[str, str],
+    config: FleetScenarioConfig,
+    rng: random.Random,
+) -> list[DnsRecord]:
+    """Shared-campaign DNS records inside one tenant, one day.
+
+    Mirrors :meth:`repro.synthetic.attacks.CampaignFactory.day_visits`:
+    a delivery chain minutes apart at infection time, then periodic
+    C&C beaconing until end of day.
+    """
+    day = dataset.config.bootstrap_days + (march_date - 1)
+    base = day * SECONDS_PER_DAY
+    records: list[DnsRecord] = []
+    infection = base + rng.uniform(8 * 3600.0, 13 * 3600.0)
+    for index, host in enumerate(hosts):
+        source_ip = dataset.host_ips[host]
+        t = infection + index * rng.uniform(10.0, 300.0)
+        for domain in delivery:
+            records.append(DnsRecord(
+                timestamp=t, source_ip=source_ip, domain=domain,
+                record_type=DnsRecordType.A,
+                resolved_ip=domain_ips[domain],
+            ))
+            t += rng.uniform(5.0, 120.0)
+        beacon_start = t + rng.uniform(10.0, 120.0)
+        for domain in cc:
+            t = beacon_start
+            end = base + SECONDS_PER_DAY - 60.0
+            while t < end:
+                records.append(DnsRecord(
+                    timestamp=t, source_ip=source_ip, domain=domain,
+                    record_type=DnsRecordType.A,
+                    resolved_ip=domain_ips[domain],
+                ))
+                t += config.beacon_period + rng.uniform(
+                    -config.beacon_jitter, config.beacon_jitter
+                )
+    return records
+
+
+def generate_fleet_dataset(
+    config: FleetScenarioConfig | None = None,
+) -> FleetDataset:
+    """Build ``n_tenants`` correlated worlds from one seed."""
+    config = config or FleetScenarioConfig()
+    if config.n_tenants < 2:
+        raise ValueError("a fleet scenario needs at least 2 tenants")
+    rng = random.Random(config.seed ^ 0xF1EE7)
+
+    tenants: dict[str, LanlDataset] = {}
+    for index in range(config.n_tenants):
+        tenant_config = replace(
+            config.tenant, seed=config.seed + 1009 * index
+        )
+        tenants[f"t{index}"] = generate_lanl_dataset(tenant_config)
+
+    delivery = _mint_shared_domains(rng, config.shared_delivery_domains)
+    cc = _mint_shared_domains(rng, config.shared_cc_domains)
+    ips = IpAllocator(seed=rng.randrange(2**31))
+    block = ips.attacker_block()
+    domain_ips = {domain: ips.ip_in_block(block) for domain in delivery + cc}
+
+    hosts_by_tenant: dict[str, tuple[str, ...]] = {}
+    date_by_tenant: dict[str, int] = {}
+    injected: dict[tuple[str, int], list[DnsRecord]] = {}
+    for index, (tenant_id, dataset) in enumerate(tenants.items()):
+        lead = index == 0
+        n_hosts = config.lead_hosts if lead else config.follower_hosts
+        date = config.lead_date if lead else config.follower_date
+        hosts = tuple(
+            host.name
+            for host in rng.sample(dataset.model.hosts, n_hosts)
+        )
+        hosts_by_tenant[tenant_id] = hosts
+        date_by_tenant[tenant_id] = date
+        injected[(tenant_id, date)] = _inject_campaign(
+            dataset, date, hosts, delivery, cc, domain_ips, config, rng,
+        )
+
+    shared = SharedCampaignTruth(
+        cc_domains=tuple(cc),
+        delivery_domains=tuple(delivery),
+        hosts_by_tenant=hosts_by_tenant,
+        date_by_tenant=date_by_tenant,
+    )
+    return FleetDataset(
+        config=config, tenants=tenants, shared=shared, _injected=injected
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk layout (what `repro-detect fleet` consumes)
+# ---------------------------------------------------------------------------
+
+def write_fleet_layout(
+    fleet: FleetDataset,
+    directory,
+    *,
+    days: int = 4,
+    bootstrap_files: int = 1,
+):
+    """Write a runnable fleet layout; returns the manifest path.
+
+    Layout::
+
+        <dir>/manifest.json
+        <dir>/intel/vt_reported.txt      # the shared VT feed
+        <dir>/shared_truth.txt           # cross-tenant campaign answers
+        <dir>/<tenant>/dns-march-*.log   # per-tenant daily logs
+        <dir>/<tenant>/ground_truth.txt
+    """
+    from pathlib import Path
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    tenant_entries = []
+    for tenant_id, dataset in fleet.tenants.items():
+        tenant_dir = directory / tenant_id
+        tenant_dir.mkdir(exist_ok=True)
+        for march_date in range(1, days + 1):
+            path = tenant_dir / f"dns-march-{march_date:02d}.log"
+            with path.open("w") as handle:
+                for record in fleet.tenant_day_records(tenant_id, march_date):
+                    handle.write(format_dns_line(record) + "\n")
+        truth_path = tenant_dir / "ground_truth.txt"
+        with truth_path.open("w") as handle:
+            for truth in dataset.campaigns:
+                if truth.march_date > days:
+                    continue
+                handle.write(
+                    f"3/{truth.march_date:02d} case{truth.case} "
+                    f"domains={','.join(truth.malicious_domains)}\n"
+                )
+        tenant_entries.append({
+            "id": tenant_id,
+            "directory": tenant_id,
+            "bootstrap_files": bootstrap_files,
+            "pattern": "dns-*.log",
+            "internal_suffixes": list(dataset.internal_suffixes),
+            "server_ips": sorted(dataset.server_ips),
+        })
+
+    intel_dir = directory / "intel"
+    intel_dir.mkdir(exist_ok=True)
+    oracle = fleet.vt_oracle()
+    (intel_dir / "vt_reported.txt").write_text(
+        "\n".join(sorted(oracle.reported_domains)) + "\n"
+    )
+
+    shared = fleet.shared
+    (directory / "shared_truth.txt").write_text(
+        "\n".join(
+            f"3/{shared.date_by_tenant[tid]:02d} {tid} "
+            f"hosts={','.join(shared.hosts_by_tenant[tid])} "
+            f"domains={','.join(shared.domains)}"
+            for tid in fleet.tenant_ids
+        ) + "\n"
+    )
+
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(json.dumps(
+        {
+            "version": 1,
+            "vt_reported": "intel/vt_reported.txt",
+            "tenants": tenant_entries,
+        },
+        indent=1,
+    ) + "\n")
+    return manifest_path

@@ -10,7 +10,13 @@ whichever conftest happens to be first on ``sys.path``.
 
 from __future__ import annotations
 
-from .synthetic import EnterpriseDatasetConfig, LanlConfig
+from .synthetic import (
+    EnterpriseDatasetConfig,
+    FleetDataset,
+    FleetScenarioConfig,
+    LanlConfig,
+    generate_fleet_dataset,
+)
 
 #: Small but fully featured LANL world used across the suite.
 SMALL_LANL = LanlConfig(
@@ -33,3 +39,39 @@ SMALL_ENTERPRISE = EnterpriseDatasetConfig(
     churn_domains_per_day=12,
     n_campaigns=20,
 )
+
+#: Per-tenant world template for small fleet scenarios.
+SMALL_FLEET_TENANT = LanlConfig(
+    seed=42,  # replaced per tenant by the fleet generator
+    n_hosts=40,
+    bootstrap_days=2,
+    popular_domains=30,
+    churn_domains_per_day=6,
+    browsing_visits_per_host=6,
+)
+
+
+def make_multi_enterprise_dataset(
+    n_tenants: int = 3,
+    *,
+    seed: int = 42,
+    lead_hosts: int = 2,
+    follower_hosts: int = 1,
+    vt_coverage: float = 0.8,
+) -> FleetDataset:
+    """Small N-tenant world with a shared attack campaign, in one call.
+
+    The lead tenant is hit on 3/02 with enough hosts for the multi-host
+    C&C heuristic; followers are hit on 3/03 with ``follower_hosts``
+    hosts (one, by default, so only cross-tenant prior seeding can
+    catch the campaign there).  Tests and benchmarks share this so a
+    fleet dataset is a deterministic function of ``(n_tenants, seed)``.
+    """
+    return generate_fleet_dataset(FleetScenarioConfig(
+        seed=seed,
+        n_tenants=n_tenants,
+        tenant=SMALL_FLEET_TENANT,
+        lead_hosts=lead_hosts,
+        follower_hosts=follower_hosts,
+        vt_coverage=vt_coverage,
+    ))

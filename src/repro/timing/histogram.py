@@ -81,14 +81,47 @@ def intervals(timestamps: Sequence[float]) -> list[float]:
     return result
 
 
+def assign_interval(
+    hubs: list[float], counts: list[int], value: float, bin_width: float
+) -> int:
+    """Assign one interval to its dynamic-histogram cluster in place.
+
+    Clusters are scanned in creation order and the interval joins the
+    *first* cluster whose hub is within ``bin_width``; otherwise it
+    founds a new cluster with itself as hub.  Returns the index of the
+    cluster the interval joined.  Because assignment only depends on
+    the clusters created by *earlier* intervals, appending intervals to
+    an existing (``hubs``, ``counts``) pair yields exactly the
+    histogram a full rebuild over the extended sequence would -- the
+    property the streaming verdict cache relies on.
+    """
+    for index, hub in enumerate(hubs):
+        if abs(value - hub) <= bin_width:
+            counts[index] += 1
+            return index
+    hubs.append(value)
+    counts.append(1)
+    return len(hubs) - 1
+
+
+def histogram_from_clusters(
+    hubs: Sequence[float], counts: Sequence[int]
+) -> DynamicHistogram:
+    """Freeze (``hubs``, ``counts``) cluster state into a histogram."""
+    total = sum(counts)
+    bins = tuple(
+        Bin(hub=hub, count=count, frequency=count / total)
+        for hub, count in zip(hubs, counts)
+    )
+    return DynamicHistogram(bins=bins, total=total)
+
+
 def build_histogram(
     interval_values: Sequence[float], bin_width: float
 ) -> DynamicHistogram:
     """Cluster intervals into a :class:`DynamicHistogram`.
 
-    Implements the paper's scheme verbatim: clusters are scanned in
-    creation order and an interval joins the *first* cluster whose hub
-    is within ``bin_width``.
+    Implements the paper's scheme verbatim via :func:`assign_interval`.
     """
     if bin_width <= 0:
         raise ValueError("bin_width must be positive")
@@ -97,19 +130,8 @@ def build_histogram(
     hubs: list[float] = []
     counts: list[int] = []
     for value in interval_values:
-        for index, hub in enumerate(hubs):
-            if abs(value - hub) <= bin_width:
-                counts[index] += 1
-                break
-        else:
-            hubs.append(value)
-            counts.append(1)
-    total = len(interval_values)
-    bins = tuple(
-        Bin(hub=hub, count=count, frequency=count / total)
-        for hub, count in zip(hubs, counts)
-    )
-    return DynamicHistogram(bins=bins, total=total)
+        assign_interval(hubs, counts, value, bin_width)
+    return histogram_from_clusters(hubs, counts)
 
 
 def histogram_from_timestamps(

@@ -480,6 +480,102 @@ class TestEventBus:
             replay_directory(tmp_path, bootstrap_files=0, checkpoint_every=0)
 
 
+class TestSeriesVerdictCache:
+    """Period-aware verdict caching must be invisible in outcomes."""
+
+    def _cache(self):
+        from repro.streaming.verdicts import SeriesVerdictCache
+        from repro.timing import AutomationDetector
+
+        detector = AutomationDetector()
+        return SeriesVerdictCache(detector), detector
+
+    def test_incremental_matches_full_recompute(self):
+        cache, detector = self._cache()
+        # A beacon series with jitter, plus irregular noise, appended
+        # in chunks: the cached verdict must always match a fresh
+        # test_series over the whole prefix.
+        import random
+
+        rng = random.Random(5)
+        times: list[float] = []
+        t = 0.0
+        for _ in range(60):
+            t += 600.0 + rng.uniform(-3.0, 3.0)
+            times.append(t)
+        for burst in (7.0, 13.0, 29.0, 111.0, 222.0):
+            times.append(t + burst)
+        times.sort()
+
+        series: list[float] = []
+        for start in range(0, len(times), 7):
+            chunk = times[start:start + 7]
+            series.extend(chunk)
+            got = cache.test("h", "d", sorted(series), chunk)
+            want = detector.test_series("h", "d", sorted(series))
+            assert got.automated == want.automated
+            assert got.period == want.period
+            assert got.connections == want.connections
+
+    def test_on_period_beacons_skip(self):
+        cache, detector = self._cache()
+        times = [600.0 * i for i in range(1, 11)]
+        first = cache.test("h", "d", times, times)
+        assert first.automated
+        assert cache.stats.full_tests == 1
+        extended = times + [600.0 * i for i in range(11, 16)]
+        second = cache.test("h", "d", extended, extended[10:])
+        assert second.automated
+        assert second.period == first.period
+        assert second.connections == 15
+        assert cache.stats.periodic_skips == 1
+        assert cache.stats.incremental_tests == 0
+
+    def test_short_series_skip_histogram(self):
+        cache, detector = self._cache()
+        verdict = cache.test("h", "d", [1.0, 2.0], [1.0, 2.0])
+        assert not verdict.automated
+        assert cache.stats.short_skips == 1
+        assert cache.stats.full_tests == 0
+
+    def test_out_of_order_arrival_falls_back_to_full(self):
+        cache, detector = self._cache()
+        times = [600.0 * i for i in range(1, 9)]
+        cache.test("h", "d", times, times)
+        # A late event lands in the *middle* of the series: the cached
+        # clusters no longer describe the interval sequence.
+        late = 900.0
+        full = sorted(times + [late])
+        got = cache.test("h", "d", full, [late])
+        want = detector.test_series("h", "d", full)
+        assert cache.stats.full_tests == 2
+        assert got.automated == want.automated
+        assert got.divergence == pytest.approx(want.divergence)
+
+    def test_streaming_counters_move_and_parity_holds(self, lanl_dataset):
+        from repro.logs.normalize import normalize_dns_records
+
+        detector = StreamingDetector(
+            internal_suffixes=lanl_dataset.internal_suffixes,
+            server_ips=lanl_dataset.server_ips,
+        )
+        detector.submit_raw(lanl_dataset.day_records(1))
+        detector.poll()
+        detector.rollover(detect=False)
+        events = list(normalize_dns_records(
+            detector.funnel.reduce(lanl_dataset.day_records(2)), fold_level=3
+        ))
+        for batch in micro_batches(iter(events), 250):
+            detector.ingest(batch)
+            detector.score()
+        final = detector.score()
+        stats = detector.verdict_stats
+        assert stats.periodic_skips > 0
+        assert stats.short_skips > 0
+        report = detector.rollover()
+        assert set(final.detected) == set(report.detected)
+
+
 class TestRareDomainTracker:
     def test_matches_batch_extraction_incrementally(self):
         history = DestinationHistory()
