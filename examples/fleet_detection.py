@@ -13,8 +13,10 @@ three workers to show parallel execution changes wall-clock, never
 detections.
 
 Run:  python examples/fleet_detection.py
+(EXAMPLES_SMOKE=1 shrinks the run for CI smoke runs.)
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -37,8 +39,11 @@ def main() -> None:
               f"3/{shared.date_by_tenant[follower]:02d} "
               "(one host -- below the C&C heuristic)")
 
+    smoke = os.environ.get("EXAMPLES_SMOKE", "") not in ("", "0")
     with tempfile.TemporaryDirectory() as tmp:
-        manifest = load_manifest(write_fleet_layout(fleet, Path(tmp), days=4))
+        manifest = load_manifest(
+            write_fleet_layout(fleet, Path(tmp), days=3 if smoke else 4)
+        )
 
         print("\nserial run (--workers 1):")
         serial = FleetManager.from_manifest(manifest, workers=1).run()

@@ -9,8 +9,10 @@ engine mid-day to show crash recovery, and finally rolling the day
 over to confirm the end-of-day report equals the batch pipeline's.
 
 Run:  python examples/streaming_detection.py
+(EXAMPLES_SMOKE=1 shrinks the world for CI smoke runs.)
 """
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -23,7 +25,8 @@ from repro.logs import format_dns_line
 
 
 def main() -> None:
-    config = LanlConfig(seed=7, n_hosts=80, bootstrap_days=2)
+    smoke = os.environ.get("EXAMPLES_SMOKE", "") not in ("", "0")
+    config = LanlConfig(seed=7, n_hosts=40 if smoke else 80, bootstrap_days=2)
     print("generating synthetic LANL world ...")
     dataset = generate_lanl_dataset(config)
     truth = dataset.campaign_for_date(2)

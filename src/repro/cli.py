@@ -13,9 +13,16 @@ The subcommands cover the workflows a downstream user needs::
 ``stream`` drives the online engine (:mod:`repro.streaming`): events
 are consumed in micro-batches with intra-day scoring, optional
 checkpointing (``--checkpoint``), and crash recovery (``--resume``).
-``fleet`` drives one engine per enterprise tenant (:mod:`repro.fleet`)
-from a tenant manifest, sharing VT/WHOIS caches and cross-tenant
-priors; ``generate --tenants N`` writes a runnable fleet layout.
+Both log families are supported: ``--pipeline dns`` (the default;
+LANL-style logs through the multi-host heuristic) and ``--pipeline
+enterprise`` (pre-joined web-proxy logs through trained regression
+scorers, restored from ``--model-state``).  ``fleet`` drives one
+engine per enterprise tenant (:mod:`repro.fleet`) from a tenant
+manifest -- tenants of either pipeline, mixed freely -- sharing
+VT/WHOIS caches and cross-tenant priors; ``generate --tenants N``
+writes a runnable fleet layout (``--enterprise-tenants K`` makes the
+trailing K tenants proxy-path worlds), and ``generate --pipeline
+enterprise`` a single-tenant enterprise layout for ``stream``.
 
 Exit codes are uniform: 0 success, 2 usage/configuration error (bad
 manifest, missing checkpoint -- one-line message, no traceback),
@@ -72,9 +79,22 @@ def _add_generate_parser(subparsers) -> None:
     parser.add_argument(
         "--tenants", type=int, default=1,
         help="with N >= 2, write an N-tenant fleet layout (per-tenant "
-             "log directories, a shared VT feed and a manifest.json "
-             "for 'repro-detect fleet') whose tenants share one "
-             "attacker campaign",
+             "log directories, shared VT/WHOIS intel and a "
+             "manifest.json for 'repro-detect fleet') whose tenants "
+             "share one attacker campaign",
+    )
+    parser.add_argument(
+        "--enterprise-tenants", type=int, default=0,
+        help="with --tenants N, make the trailing K tenants enterprise "
+             "(web-proxy) worlds with trained per-tenant models -- a "
+             "mixed-pipeline fleet (the lead stays on the DNS path)",
+    )
+    parser.add_argument(
+        "--pipeline", choices=("dns", "enterprise"), default="dns",
+        help="single-tenant log family: 'dns' writes LANL-style DNS "
+             "logs, 'enterprise' a web-proxy layout (daily proxy logs, "
+             "a trained model.json and whois.json) for "
+             "'repro-detect stream --pipeline enterprise'",
     )
 
 
@@ -99,15 +119,37 @@ def _add_run_parser(subparsers) -> None:
 def _add_stream_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "stream",
-        help="replay a directory of daily DNS log files as an event "
+        help="replay a directory of daily log files as an event "
              "stream through the online detection engine",
     )
     parser.add_argument("directory", type=Path)
     parser.add_argument(
+        "--pipeline", choices=("dns", "enterprise"), default="dns",
+        help="log family: 'dns' (LANL-style logs, multi-host C&C "
+             "heuristic) or 'enterprise' (pre-joined web-proxy logs, "
+             "trained regression scorers from --model-state)",
+    )
+    parser.add_argument(
+        "--model-state", type=Path, default=None,
+        help="trained detector JSON for --pipeline enterprise (as "
+             "written by 'enterprise --save-state' or a generated "
+             "layout's model.json)",
+    )
+    parser.add_argument(
+        "--whois", type=Path, default=None,
+        help="WHOIS registry JSON for --pipeline enterprise (a "
+             "generated layout's whois.json); without it registration "
+             "features fall back to imputation",
+    )
+    parser.add_argument(
         "--bootstrap-files", type=int, default=2,
         help="leading files used to build the destination history",
     )
-    parser.add_argument("--pattern", default="dns-*.log")
+    parser.add_argument(
+        "--pattern", default=None,
+        help="daily log glob (default dns-*.log, or proxy-*.log with "
+             "--pipeline enterprise)",
+    )
     parser.add_argument(
         "--internal-suffix", action="append", default=[],
         help="internal namespace suffix to filter (repeatable)",
@@ -152,14 +194,16 @@ def _add_fleet_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "fleet",
         help="run one detection engine per enterprise tenant above a "
-             "shared intel plane (VT cache + cross-tenant priors)",
+             "shared intel plane (VT/WHOIS caches + cross-tenant priors)",
         description="Advance every tenant named in the manifest through "
-                    "its log directory in day-barrier rounds.  Detections "
-                    "published by one tenant seed belief propagation in "
-                    "the others from the next day on; results are "
-                    "identical for any --workers value.  Exit codes: 0 "
-                    "success, 2 bad manifest/checkpoint, 3 interrupted "
-                    "(resume with --resume).",
+                    "its log directory in day-barrier rounds.  Tenants "
+                    "may mix pipelines (DNS and enterprise/proxy).  "
+                    "Detections published by one tenant seed belief "
+                    "propagation in the others from the next day on -- "
+                    "across pipeline types; results are identical for "
+                    "any --workers value.  Exit codes: 0 success, 2 bad "
+                    "manifest/checkpoint, 3 interrupted (resume with "
+                    "--resume).",
     )
     parser.add_argument(
         "manifest", type=Path,
@@ -211,6 +255,7 @@ def _add_timing_parser(subparsers) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-detect argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro-detect",
         description="Early-stage enterprise infection detection "
@@ -306,6 +351,21 @@ def _run_generate(args) -> int:
 
     if args.tenants < 1:
         return _fail("--tenants must be positive")
+    if args.enterprise_tenants and args.tenants < 2:
+        return _fail(
+            "--enterprise-tenants needs a fleet (--tenants N >= 2); use "
+            "--pipeline enterprise for a single-tenant enterprise layout"
+        )
+    if not 0 <= args.enterprise_tenants < args.tenants:
+        return _fail(
+            "--enterprise-tenants must leave at least the lead tenant "
+            "on the DNS path"
+        )
+    if args.pipeline == "enterprise" and args.tenants > 1:
+        return _fail(
+            "--pipeline enterprise writes a single-tenant layout; for "
+            "mixed fleets use --tenants N --enterprise-tenants K"
+        )
     if args.tenants > 1:
         if args.netflow:
             return _fail("--netflow is not supported with --tenants")
@@ -324,14 +384,43 @@ def _run_generate(args) -> int:
             seed=args.seed,
             n_tenants=args.tenants,
             tenant=LanlConfig(seed=args.seed, n_hosts=args.hosts),
+            enterprise_tenants=args.enterprise_tenants,
         ))
         manifest_path = write_fleet_layout(fleet, args.output, days=args.days)
         for tenant_id in fleet.tenant_ids:
             print(f"wrote {args.output / tenant_id}/ "
-                  f"({args.days} daily logs)")
+                  f"({args.days} daily logs, "
+                  f"{fleet.pipeline_of(tenant_id)} pipeline)")
         print(f"wrote {manifest_path}")
         print(f"run it:  repro-detect fleet {manifest_path} --workers "
               f"{args.tenants}")
+        return 0
+
+    if args.pipeline == "enterprise":
+        if args.netflow:
+            return _fail("--netflow is not supported with --pipeline enterprise")
+        from .synthetic import (
+            EnterpriseDatasetConfig,
+            generate_enterprise_dataset,
+            write_enterprise_layout,
+        )
+
+        dataset = generate_enterprise_dataset(EnterpriseDatasetConfig(
+            seed=args.seed,
+            n_hosts=args.hosts,
+            operation_days=max(args.days, 4),
+            quiet_days=1,
+        ))
+        try:
+            write_enterprise_layout(dataset, args.output, days=args.days)
+        except ValueError as exc:
+            return _fail(str(exc))
+        print(f"wrote {args.output}/ ({args.days} daily proxy logs, "
+              "model.json, whois.json)")
+        print(f"run it:  repro-detect stream {args.output} "
+              "--pipeline enterprise "
+              f"--model-state {args.output / 'model.json'} "
+              f"--whois {args.output / 'whois.json'} --bootstrap-files 0")
         return 0
 
     dataset = generate_lanl_dataset(
@@ -393,7 +482,11 @@ def _run_run(args) -> int:
 def _run_stream(args) -> int:
     from .eval.clusters import triage_report
     from .state import StateError
-    from .streaming import WarmStartConfig, replay_directory
+    from .streaming import (
+        WarmStartConfig,
+        replay_directory,
+        replay_enterprise_directory,
+    )
 
     def on_update(update) -> None:
         if args.verbose and update.detected:
@@ -404,21 +497,48 @@ def _run_stream(args) -> int:
 
     if args.resume and args.checkpoint is None:
         return _fail("--resume requires --checkpoint")
-    try:
-        result = replay_directory(
-            args.directory,
-            bootstrap_files=args.bootstrap_files,
-            pattern=args.pattern,
-            internal_suffixes=tuple(args.internal_suffix),
-            batch_size=args.batch_size,
-            score_every=args.score_every,
-            warm=WarmStartConfig(enabled=not args.no_warm_start),
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            resume=args.resume,
-            max_batches=args.max_batches,
-            on_update=on_update,
+    enterprise = args.pipeline == "enterprise"
+    if enterprise and args.model_state is None:
+        return _fail(
+            "--pipeline enterprise requires --model-state (a trained "
+            "detector JSON; see 'generate --pipeline enterprise')"
         )
+    if not enterprise and args.model_state is not None:
+        return _fail("--model-state is only valid with --pipeline enterprise")
+    if not enterprise and args.whois is not None:
+        return _fail("--whois is only valid with --pipeline enterprise")
+    if enterprise and args.internal_suffix:
+        return _fail(
+            "--internal-suffix applies to the DNS reduction funnel only "
+            "(enterprise proxy logs arrive pre-joined)"
+        )
+    pattern = args.pattern or ("proxy-*.log" if enterprise else "dns-*.log")
+    shared = dict(
+        bootstrap_files=args.bootstrap_files,
+        pattern=pattern,
+        batch_size=args.batch_size,
+        score_every=args.score_every,
+        warm=WarmStartConfig(enabled=not args.no_warm_start),
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_batches=args.max_batches,
+        on_update=on_update,
+    )
+    try:
+        if enterprise:
+            result = replay_enterprise_directory(
+                args.directory,
+                model_state=args.model_state,
+                whois_path=args.whois,
+                **shared,
+            )
+        else:
+            result = replay_directory(
+                args.directory,
+                internal_suffixes=tuple(args.internal_suffix),
+                **shared,
+            )
     except (ValueError, OSError, StateError) as exc:
         return _fail(str(exc))
     all_detected: set[str] = set()

@@ -7,7 +7,12 @@ from .beliefprop import (
     belief_propagation,
 )
 from .graph import InfectionGraph, Label, NodeKind, NodeRecord
-from .pipeline import DayResult, EnterpriseDetector, TrainingReport
+from .pipeline import (
+    DayResult,
+    EnterpriseDetector,
+    TrainingReport,
+    detect_on_enterprise_traffic,
+)
 from .scoring import (
     AdditiveSimilarityScorer,
     RegressionCCScorer,
@@ -28,6 +33,7 @@ __all__ = [
     "DayResult",
     "EnterpriseDetector",
     "TrainingReport",
+    "detect_on_enterprise_traffic",
     "AdditiveSimilarityScorer",
     "RegressionCCScorer",
     "RegressionSimilarityScorer",

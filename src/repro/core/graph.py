@@ -19,6 +19,7 @@ import networkx as nx
 
 
 class NodeKind(str, Enum):
+    """Node families of the infection graph (hosts vs domains)."""
     HOST = "host"
     DOMAIN = "domain"
 
@@ -64,6 +65,7 @@ class InfectionGraph:
     def add_domain(
         self, domain: str, label: Label, iteration: int, score: float = 0.0
     ) -> bool:
+        """Add a labeled domain node; returns False if already present."""
         if domain in self.domains:
             return False
         self.domains[domain] = NodeRecord(
@@ -84,6 +86,7 @@ class InfectionGraph:
         return len(self.hosts) + len(self.domains)
 
     def domains_by_iteration(self) -> dict[int, list[str]]:
+        """Domains grouped by the BP iteration that added them."""
         by_iter: dict[int, list[str]] = {}
         for record in self.domains.values():
             by_iter.setdefault(record.iteration, []).append(record.name)

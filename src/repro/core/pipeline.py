@@ -28,8 +28,8 @@ the paper's two phases:
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from collections.abc import Iterable, Sequence, Set
+from dataclasses import dataclass, field
 
 from ..config import SystemConfig
 from ..features.extract import (
@@ -66,14 +66,18 @@ class DayResult:
     cc_domains: list[ScoredDomain]
     no_hint: BeliefPropagationResult | None = None
     soc_hints: BeliefPropagationResult | None = None
+    intel_seeded: set[str] = field(default_factory=set)
+    """Rare domains seeded from shared intelligence (fleet mode)."""
 
     @property
     def cc_domain_names(self) -> set[str]:
         return {scored.domain for scored in self.cc_domains}
 
     def all_detected_domains(self) -> set[str]:
-        """Union of both modes' non-seed detections plus C&C hits."""
-        detected = set(self.cc_domain_names)
+        """Union of both modes' detections (seeds included only for
+        intel-seeded domains, which are detections in their own right)
+        plus C&C hits."""
+        detected = set(self.cc_domain_names) | set(self.intel_seeded)
         for result in (self.no_hint, self.soc_hints):
             if result is not None:
                 detected.update(result.detected_domains)
@@ -251,6 +255,7 @@ class EnterpriseDetector:
         connections: Sequence[Connection],
         *,
         soc_seed_domains: Iterable[str] = (),
+        intel_domains: Set[str] = frozenset(),
         update_profiles: bool = True,
     ) -> DayResult:
         """Run the four daily operation stages on one day of traffic."""
@@ -258,66 +263,17 @@ class EnterpriseDetector:
             raise RuntimeError("detector must be trained before operation")
 
         traffic, rare = self._aggregate_day(day, connections)
-        when = (day + 1) * 86_400.0
-        verdicts = self._automation_verdicts(traffic, rare)
-        auto_hosts = _automated_hosts_by_domain(verdicts)
-
-        cc_domains: list[ScoredDomain] = []
-        for domain in sorted(auto_hosts):
-            score = self.cc_scorer.score(domain, traffic, auto_hosts[domain], when)
-            if score >= self.cc_scorer.threshold:
-                cc_domains.append(ScoredDomain(domain, score))
-        cc_domains.sort(key=lambda s: (-s.score, s.domain))
-        cc_set = {scored.domain for scored in cc_domains}
-
-        host_rdom = rare_domains_by_host(traffic, rare)
-        dom_host = {
-            domain: frozenset(traffic.hosts_by_domain.get(domain, ()))
-            for domain in rare
-        }
-
-        def detect_cc(domain: str) -> bool:
-            return domain in cc_set
-
-        def similarity(domain: str, malicious: set[str]) -> float:
-            return self.similarity_scorer.score(domain, malicious, traffic, when)
-
-        result = DayResult(
+        result = detect_on_enterprise_traffic(
+            traffic,
+            rare,
             day=day,
-            rare_domains=rare,
-            automated_verdicts=verdicts,
-            cc_domains=cc_domains,
+            automation=self.automation,
+            cc_scorer=self.cc_scorer,
+            similarity_scorer=self.similarity_scorer,
+            config=self.config,
+            soc_seed_domains=soc_seed_domains,
+            intel_domains=intel_domains,
         )
-
-        if cc_set:
-            seed_hosts: set[str] = set()
-            for domain in cc_set:
-                seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
-            result.no_hint = belief_propagation(
-                seed_hosts,
-                cc_set,
-                dom_host=dom_host,
-                host_rdom=host_rdom,
-                detect_cc=detect_cc,
-                similarity_score=similarity,
-                config=self.config.belief_propagation,
-            )
-
-        soc_seeds = {d for d in soc_seed_domains if d in traffic.hosts_by_domain}
-        if soc_seeds:
-            seed_hosts = set()
-            for domain in soc_seeds:
-                seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
-            result.soc_hints = belief_propagation(
-                seed_hosts,
-                soc_seeds,
-                dom_host=dom_host,
-                host_rdom=host_rdom,
-                detect_cc=detect_cc,
-                similarity_score=similarity,
-                config=self.config.belief_propagation,
-            )
-
         if update_profiles:
             self._profile_day(day, connections)
         return result
@@ -358,6 +314,109 @@ class EnterpriseDetector:
             self.ua_history.stage(conn.user_agent, conn.host)
         self.history.commit_day(day)
         self.ua_history.commit_day()
+
+
+def detect_on_enterprise_traffic(
+    traffic: DailyTraffic,
+    rare: set[str],
+    *,
+    day: int,
+    automation: AutomationDetector,
+    cc_scorer: RegressionCCScorer,
+    similarity_scorer: RegressionSimilarityScorer,
+    config: SystemConfig,
+    soc_seed_domains: Iterable[str] = (),
+    intel_domains: Set[str] = frozenset(),
+) -> DayResult:
+    """The enterprise-path daily detection stages on one day of traffic.
+
+    This is the single implementation both the batch
+    :meth:`EnterpriseDetector.process_day` and the streaming engine
+    (:class:`repro.streaming.StreamingEnterpriseDetector`) run at end
+    of day, so streaming replay is batch-identical by construction --
+    the enterprise analogue of :func:`repro.runner.detect_on_traffic`:
+    automation test over rare (host, domain) series, regression C&C
+    scoring above ``Tc``, then belief propagation seeded by today's
+    C&C detections (no-hint mode) and, separately, by SOC hint domains.
+
+    ``intel_domains`` carries externally confirmed malicious domains
+    (a fleet's shared intel plane, a SOC blocklist).  Those that are
+    *rare today* enter the no-hint belief propagation as seed labels --
+    the paper's community-feedback amplification: a domain confirmed in
+    one enterprise elevates the prior everywhere it appears, even where
+    local evidence (a single beaconing host, say, below the regression
+    model's connectivity signal) would not fire ``Detect_C&C`` alone.
+    """
+    when = (day + 1) * 86_400.0
+    traffic.finalize()
+    series = [
+        (key, times)
+        for key, times in sorted(traffic.timestamps.items())
+        if key[1] in rare
+    ]
+    verdicts = automation.automated_pairs(series)
+    auto_hosts = _automated_hosts_by_domain(verdicts)
+
+    cc_domains: list[ScoredDomain] = []
+    for domain in sorted(auto_hosts):
+        score = cc_scorer.score(domain, traffic, auto_hosts[domain], when)
+        if score >= cc_scorer.threshold:
+            cc_domains.append(ScoredDomain(domain, score))
+    cc_domains.sort(key=lambda s: (-s.score, s.domain))
+    cc_set = {scored.domain for scored in cc_domains}
+    intel_seeded = set(intel_domains) & rare
+
+    host_rdom = rare_domains_by_host(traffic, rare)
+    dom_host = {
+        domain: frozenset(traffic.hosts_by_domain.get(domain, ()))
+        for domain in rare
+    }
+
+    def detect_cc(domain: str) -> bool:
+        return domain in cc_set
+
+    def similarity(domain: str, malicious: set[str]) -> float:
+        return similarity_scorer.score(domain, malicious, traffic, when)
+
+    result = DayResult(
+        day=day,
+        rare_domains=rare,
+        automated_verdicts=verdicts,
+        cc_domains=cc_domains,
+        intel_seeded=intel_seeded,
+    )
+
+    no_hint_seeds = cc_set | intel_seeded
+    if no_hint_seeds:
+        seed_hosts: set[str] = set()
+        for domain in no_hint_seeds:
+            seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+        result.no_hint = belief_propagation(
+            seed_hosts,
+            no_hint_seeds,
+            dom_host=dom_host,
+            host_rdom=host_rdom,
+            detect_cc=detect_cc,
+            similarity_score=similarity,
+            config=config.belief_propagation,
+        )
+
+    soc_seeds = {d for d in soc_seed_domains if d in traffic.hosts_by_domain}
+    if soc_seeds:
+        seed_hosts = set()
+        for domain in soc_seeds:
+            seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+        result.soc_hints = belief_propagation(
+            seed_hosts,
+            soc_seeds,
+            dom_host=dom_host,
+            host_rdom=host_rdom,
+            detect_cc=detect_cc,
+            similarity_score=similarity,
+            config=config.belief_propagation,
+        )
+
+    return result
 
 
 def _automated_hosts_by_domain(

@@ -52,6 +52,7 @@ class RegressionCCScorer:
         automated_hosts: set[str],
         when: float,
     ) -> float:
+        """Regression C&C score for a domain's automated hosts at ``when``."""
         features = self.extractor.cc_features(domain, traffic, automated_hosts, when)
         return self.model.score(features.as_vector())
 
@@ -82,6 +83,7 @@ class RegressionSimilarityScorer:
         traffic: DailyTraffic,
         when: float,
     ) -> float:
+        """Regression similarity of ``domain`` to the malicious set."""
         features = self.extractor.similarity_features(
             domain, malicious, traffic, when
         )
@@ -138,6 +140,7 @@ class AdditiveSimilarityScorer:
         traffic: DailyTraffic,
         when: float = 0.0,
     ) -> float:
+        """Additive (feature-count) similarity score in [0, 1]."""
         connectivity, timing, ip = self.components(domain, malicious, traffic)
         return (connectivity + timing + ip) / self.MAX_COMPONENT_SUM
 

@@ -55,6 +55,7 @@ class IncidentReport:
         return [e.domain for e in self.evidence]
 
     def render(self) -> str:
+        """The incident as an analyst-readable multi-line summary."""
         lines = [
             f"incident report, day {self.day}: "
             f"{len(self.evidence)} suspicious domains, "

@@ -75,6 +75,7 @@ class ChallengeReport:
     outcomes: list[DayOutcome] = field(default_factory=list)
 
     def counts_for(self, case: int, training: bool) -> DetectionCounts:
+        """Detection counts for one case, split by training/test dates."""
         from ..synthetic.lanl import TRAINING_DATES
 
         total = ZERO_COUNTS
@@ -87,6 +88,7 @@ class ChallengeReport:
         return total
 
     def totals(self, training: bool) -> DetectionCounts:
+        """Detection counts summed over all cases for one date split."""
         from ..synthetic.lanl import TRAINING_DATES
 
         total = ZERO_COUNTS
@@ -181,6 +183,7 @@ class LanlChallengeSolver:
         seed_domains: set[str],
         cc_set: set[str],
     ) -> BeliefPropagationResult:
+        """Run BP for one day's context; returns the result or None."""
         host_rdom = rare_domains_by_host(context.traffic, context.rare)
         dom_host = {
             domain: frozenset(context.traffic.hosts_by_domain.get(domain, ()))

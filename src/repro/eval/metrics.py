@@ -102,12 +102,14 @@ class ValidationBreakdown:
 
     @property
     def tdr(self) -> float:
+        """True-detection rate: confirmed malicious over all detected."""
         if not self.detected:
             return 0.0
         return (self.known_malicious + self.new_malicious) / self.detected
 
     @property
     def ndr(self) -> float:
+        """New-discovery rate: new malicious over all detected."""
         if not self.detected:
             return 0.0
         return self.new_malicious / self.detected

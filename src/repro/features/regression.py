@@ -60,6 +60,7 @@ class LinearModel:
         return self.intercept + matrix @ self.weights
 
     def coefficient(self, name: str) -> Coefficient:
+        """The named coefficient; raises KeyError when absent."""
         for coef in self.coefficients:
             if coef.name == name:
                 return coef

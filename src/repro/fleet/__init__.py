@@ -29,7 +29,7 @@ therefore identical for any worker count -- parallelism changes
 wall-clock, not detections.
 """
 
-from .intel import BoardEntry, CacheStats, IntelPlane
+from .intel import BoardEntry, CacheStats, IntelPlane, TenantWhoisView
 from .manager import FleetError, FleetManager
 from .manifest import FleetManifest, ManifestError, TenantSpec, load_manifest
 from .report import FleetReport, TenantDayReport
@@ -45,5 +45,6 @@ __all__ = [
     "ManifestError",
     "TenantDayReport",
     "TenantSpec",
+    "TenantWhoisView",
     "load_manifest",
 ]

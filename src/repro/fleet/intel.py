@@ -81,6 +81,25 @@ class _TenantCache:
         return value
 
 
+class TenantWhoisView:
+    """A :class:`WhoisDatabase`-shaped view bound to one tenant.
+
+    Enterprise-path engines query WHOIS during feature extraction
+    (DomAge/DomValidity); handing them this view instead of the raw
+    registry routes every lookup through the plane's shared, memoized
+    cache -- so one tenant's lookups save the others work, and the
+    cross-tenant hit accounting reflects the proxy path too.
+    """
+
+    def __init__(self, plane: "IntelPlane", tenant_id: str) -> None:
+        self.plane = plane
+        self.tenant_id = tenant_id
+
+    def lookup(self, domain: str) -> WhoisRecord | None:
+        """Memoized lookup attributed to this view's tenant."""
+        return self.plane.whois_lookup(self.tenant_id, domain)
+
+
 @dataclass(frozen=True)
 class BoardEntry:
     """One domain on the cross-tenant prior board."""

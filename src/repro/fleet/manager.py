@@ -1,16 +1,22 @@
 """Fleet orchestration: one detection engine per tenant, run in step.
 
-The :class:`FleetManager` owns one
-:class:`~repro.streaming.StreamingDetector` per enterprise tenant and
-advances all of them through their log directories in **day-barrier
-rounds**: round ``k`` feeds every tenant its ``k``-th daily log file,
-and only when all tenants have finished the round are their detections
-published to the shared :class:`~repro.fleet.intel.IntelPlane`.  The
-seeds a tenant receives for day ``k`` are therefore exactly the fleet's
-confirmed domains through day ``k - 1`` -- independent of how many
-workers advanced the tenants concurrently, which is what makes
-``--workers 1`` and ``--workers N`` produce identical per-tenant
-detections (the parity the tests enforce).
+The :class:`FleetManager` owns one streaming engine per enterprise
+tenant -- a :class:`~repro.streaming.StreamingDetector` for DNS-path
+tenants, a :class:`~repro.streaming.StreamingEnterpriseDetector`
+(restored from the tenant's trained ``model_state``) for
+enterprise/proxy-path tenants -- and advances all of them through
+their log directories in **day-barrier rounds**: round ``k`` feeds
+every tenant its ``k``-th daily log file, and only when all tenants
+have finished the round are their detections published to the shared
+:class:`~repro.fleet.intel.IntelPlane`.  The seeds a tenant receives
+for day ``k`` are therefore exactly the fleet's confirmed domains
+through day ``k - 1`` -- independent of how many workers advanced the
+tenants concurrently, which is what makes ``--workers 1`` and
+``--workers N`` produce identical per-tenant detections (the parity
+the tests enforce).  Because seeding happens at the traffic level
+(rare domains become belief-propagation seed labels), it crosses
+pipeline types: a DNS tenant's confirmation seeds an enterprise
+tenant's proxy-path run and vice versa.
 
 Two executors:
 
@@ -46,19 +52,28 @@ from pathlib import Path
 from typing import Any
 
 from ..config import SystemConfig
+from ..intel.whois_db import WhoisDatabase, load_whois_file
 from ..logs.dns import parse_dns_log
+from ..logs.proxy import parse_proxy_log
 from ..state import (
     decode_config,
     encode_config,
+    encode_engine,
+    load_detector,
     load_json,
-    restore_streaming,
+    restore_engine,
     save_json_atomic,
-    streaming_state,
 )
-from ..streaming import StreamingDetector, StreamDayReport
-from .intel import IntelPlane
+from ..streaming import (
+    StreamDayReport,
+    StreamingDetector,
+    StreamingEnterpriseDetector,
+)
+from .intel import IntelPlane, TenantWhoisView
 from .manifest import FleetManifest, TenantSpec
 from .report import FleetReport, TenantDayReport
+
+SECONDS_PER_DAY = 86_400.0
 
 FLEET_STATE_VERSION = 1
 
@@ -72,16 +87,20 @@ class FleetError(RuntimeError):
 # ---------------------------------------------------------------------------
 
 def _advance_one_day(
-    detector: StreamingDetector,
+    detector,
     spec_id: str,
     path: Path,
     *,
     bootstrap: bool,
     seeds: Set[str],
+    pipeline: str = "dns",
 ) -> TenantDayReport | None:
     """Feed one log file through a tenant's engine; close the day."""
     with path.open() as handle:
-        detector.submit_raw(parse_dns_log(handle))
+        if pipeline == "enterprise":
+            detector.submit_raw(parse_proxy_log(handle))
+        else:
+            detector.submit_raw(parse_dns_log(handle))
     detector.poll()
     report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
     if bootstrap:
@@ -119,16 +138,18 @@ def _tenant_checkpoint_path(checkpoint_dir: Path, tenant_id: str) -> Path:
 
 
 def _save_tenant_checkpoint(
-    detector: StreamingDetector,
+    detector,
     path: Path,
     report: TenantDayReport | None,
+    rounds_done: int,
 ) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     save_json_atomic(
         {
             "version": FLEET_STATE_VERSION,
             "kind": "fleet-tenant",
-            "engine": streaming_state(detector),
+            "round": rounds_done,
+            "engine": encode_engine(detector),
             "report": report.as_dict() if report is not None else None,
         },
         path,
@@ -146,17 +167,39 @@ def _load_tenant_checkpoint(path: Path) -> dict[str, Any]:
     return wrapper
 
 
+def _checkpoint_rounds(wrapper: dict[str, Any]) -> int:
+    """Rounds a tenant has completed, per its checkpoint.
+
+    Older (pre-enterprise) checkpoints lack the explicit counter; for
+    those the DNS engine's day index equals the file count consumed.
+    """
+    if "round" in wrapper:
+        return int(wrapper["round"])
+    return int(wrapper["engine"]["window"]["day"])
+
+
 def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
     """Advance one tenant one day inside a worker process.
 
     Engine state rides in the tenant checkpoint: load (or create), feed
     the day's file, write the checkpoint back with the embedded report.
-    Everything crossing the process boundary is plain JSON-able data.
+    Everything crossing the process boundary is plain JSON-able data;
+    external registries (the WHOIS file, the trained model) are
+    re-loaded from their paths.
     """
     checkpoint_path = Path(payload["checkpoint_path"])
+    whois: WhoisDatabase | None = None
+    if payload.get("whois_path"):
+        whois = load_whois_file(payload["whois_path"])
     if checkpoint_path.exists():
         wrapper = _load_tenant_checkpoint(checkpoint_path)
-        detector = restore_streaming(wrapper["engine"])
+        detector = restore_engine(wrapper["engine"], whois=whois)
+        rounds_done = _checkpoint_rounds(wrapper)
+    elif payload["pipeline"] == "enterprise":
+        detector = StreamingEnterpriseDetector(
+            load_detector(payload["model_state"], whois=whois)
+        )
+        rounds_done = 0
     else:
         detector = StreamingDetector(
             config=(
@@ -166,14 +209,16 @@ def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
             internal_suffixes=tuple(payload["internal_suffixes"]),
             server_ips=frozenset(payload["server_ips"]),
         )
+        rounds_done = 0
     report = _advance_one_day(
         detector,
         payload["tenant_id"],
         Path(payload["log_path"]),
         bootstrap=payload["bootstrap"],
         seeds=frozenset(payload["seeds"]),
+        pipeline=payload["pipeline"],
     )
-    _save_tenant_checkpoint(detector, checkpoint_path, report)
+    _save_tenant_checkpoint(detector, checkpoint_path, report, rounds_done + 1)
     return report.as_dict() if report is not None else None
 
 
@@ -194,6 +239,7 @@ class FleetManager:
         executor: str = "thread",
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
+        whois_path: str | Path | None = None,
     ) -> None:
         if not specs:
             raise FleetError("fleet needs at least one tenant")
@@ -228,18 +274,50 @@ class FleetManager:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.resume = resume
-        self.engines: dict[str, StreamingDetector] = {}
+        self.whois_path = Path(whois_path) if whois_path is not None else None
+        self.engines: dict[str, Any] = {}
 
     @classmethod
     def from_manifest(cls, manifest: FleetManifest, **kwargs) -> "FleetManager":
-        """Build a fleet (and its VT-fed intel plane) from a manifest."""
-        if "intel" not in kwargs and manifest.vt_reported is not None:
+        """Build a fleet (and its intel plane) from a manifest.
+
+        The plane is fed from the manifest's shared inputs: the VT feed
+        (full coverage -- it *is* the feed) and the WHOIS registry.
+        """
+        if "intel" not in kwargs and (
+            manifest.vt_reported is not None or manifest.whois is not None
+        ):
             from ..intel.virustotal import VirusTotalOracle
 
-            kwargs["intel"] = IntelPlane(
-                vt=VirusTotalOracle(manifest.vt_reported, coverage=1.0)
+            vt = (
+                VirusTotalOracle(manifest.vt_reported, coverage=1.0)
+                if manifest.vt_reported is not None else None
             )
+            kwargs["intel"] = IntelPlane(vt=vt, whois=manifest.whois)
+        kwargs.setdefault("whois_path", manifest.whois_path)
         return cls(manifest.tenants, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def _tenant_whois(self, tenant_id: str) -> TenantWhoisView | None:
+        """The tenant's registry view through the shared cache."""
+        if self.intel.whois is None:
+            return None
+        return TenantWhoisView(self.intel, tenant_id)
+
+    def _build_engine(self, spec: TenantSpec):
+        """A fresh streaming engine for one tenant, per its pipeline."""
+        if spec.pipeline == "enterprise":
+            return StreamingEnterpriseDetector(
+                load_detector(
+                    spec.model_state, whois=self._tenant_whois(spec.tenant_id)
+                )
+            )
+        return StreamingDetector(
+            config=self.config,
+            internal_suffixes=spec.internal_suffixes,
+            server_ips=spec.server_ips,
+        )
 
     # ------------------------------------------------------------------
 
@@ -274,10 +352,12 @@ class FleetManager:
             self._fleet_state_path(),
         )
 
-    def _restore(self) -> tuple[int, dict[str, int], list[TenantDayReport]]:
-        """Resume state: (completed rounds, per-tenant cursor, reports
-        recovered from tenants that finished a round the fleet never
-        committed)."""
+    def _restore(
+        self,
+    ) -> tuple[int, dict[str, int], list[tuple[int, TenantDayReport]]]:
+        """Resume state: (completed rounds, per-tenant cursor, and
+        ``(round, report)`` pairs recovered from tenants that finished
+        a round the fleet never committed)."""
         state_path = self._fleet_state_path()
         if not state_path.exists():
             raise FleetError(f"no fleet checkpoint at {state_path}")
@@ -287,7 +367,7 @@ class FleetManager:
         rounds = int(payload["rounds"])
         self.intel.restore(payload["intel"])
         cursors: dict[str, int] = {}
-        carried: list[TenantDayReport] = []
+        carried: list[tuple[int, TenantDayReport]] = []
         for spec in self.specs:
             ckpt = _tenant_checkpoint_path(self.checkpoint_dir, spec.tenant_id)
             if not ckpt.exists():
@@ -295,16 +375,23 @@ class FleetManager:
                     f"no checkpoint for tenant {spec.tenant_id!r}: {ckpt}"
                 )
             wrapper = _load_tenant_checkpoint(ckpt)
-            cursors[spec.tenant_id] = int(wrapper["engine"]["window"]["day"])
+            cursors[spec.tenant_id] = _checkpoint_rounds(wrapper)
             if self.executor == "thread":
-                self.engines[spec.tenant_id] = restore_streaming(
-                    wrapper["engine"]
+                self.engines[spec.tenant_id] = restore_engine(
+                    wrapper["engine"],
+                    whois=self._tenant_whois(spec.tenant_id),
                 )
             if cursors[spec.tenant_id] > rounds and wrapper["report"]:
                 # The tenant finished a round the fleet never committed
                 # (crash between task and barrier): re-publish its
-                # report at the proper barrier.
-                carried.append(TenantDayReport.from_dict(wrapper["report"]))
+                # report at the proper barrier.  Keyed by the round the
+                # checkpoint recorded, not the report's engine day --
+                # enterprise engines count days from their trained
+                # bootstrap, so day and round differ there.
+                carried.append((
+                    cursors[spec.tenant_id] - 1,
+                    TenantDayReport.from_dict(wrapper["report"]),
+                ))
         return rounds, cursors, carried
 
     def _fresh_start(self) -> dict[str, int]:
@@ -315,11 +402,7 @@ class FleetManager:
             self._fleet_state_path().unlink(missing_ok=True)
         for spec in self.specs:
             if self.executor == "thread":
-                self.engines[spec.tenant_id] = StreamingDetector(
-                    config=self.config,
-                    internal_suffixes=spec.internal_suffixes,
-                    server_ips=spec.server_ips,
-                )
+                self.engines[spec.tenant_id] = self._build_engine(spec)
             if self.checkpoint_dir is not None:
                 # A stale checkpoint would shadow the fresh run.
                 ckpt = _tenant_checkpoint_path(
@@ -336,6 +419,7 @@ class FleetManager:
         spec: TenantSpec,
         path: Path,
         *,
+        rnd: int,
         bootstrap: bool,
         seeds: frozenset[str],
     ):
@@ -348,6 +432,18 @@ class FleetManager:
                 "log_path": str(path),
                 "bootstrap": bootstrap,
                 "seeds": sorted(seeds),
+                "pipeline": spec.pipeline,
+                "model_state": (
+                    str(spec.model_state)
+                    if spec.model_state is not None else None
+                ),
+                # Only enterprise engines query the registry; sparing
+                # DNS workers the parse keeps large fleets cheap.
+                "whois_path": (
+                    str(self.whois_path)
+                    if self.whois_path is not None
+                    and spec.pipeline == "enterprise" else None
+                ),
                 "internal_suffixes": list(spec.internal_suffixes),
                 "server_ips": sorted(spec.server_ips),
                 "config": (
@@ -361,7 +457,7 @@ class FleetManager:
         def task() -> TenantDayReport | None:
             report = _advance_one_day(
                 detector, spec.tenant_id, path,
-                bootstrap=bootstrap, seeds=seeds,
+                bootstrap=bootstrap, seeds=seeds, pipeline=spec.pipeline,
             )
             if self.checkpoint_dir is not None:
                 _save_tenant_checkpoint(
@@ -370,6 +466,7 @@ class FleetManager:
                         self.checkpoint_dir, spec.tenant_id
                     ),
                     report,
+                    rnd + 1,
                 )
             return report
 
@@ -430,7 +527,7 @@ class FleetManager:
                     )
                     futures[spec.tenant_id] = self._submit_tenant(
                         pool, spec, tenant_files[rnd],
-                        bootstrap=bootstrap, seeds=seeds,
+                        rnd=rnd, bootstrap=bootstrap, seeds=seeds,
                     )
 
                 # Barrier: collect in spec order (deterministic), then
@@ -447,7 +544,9 @@ class FleetManager:
                     if isinstance(result, dict):
                         result = TenantDayReport.from_dict(result)
                     round_reports.append(result)
-                round_reports.extend(c for c in carried if c.day == rnd)
+                round_reports.extend(
+                    rep for c_rnd, rep in carried if c_rnd == rnd
+                )
 
                 for day_report in round_reports:
                     self.intel.publish(
@@ -459,6 +558,19 @@ class FleetManager:
                         report.vt_labels[domain] = self.intel.vt_reported(
                             day_report.tenant_id, domain
                         )
+                        if (
+                            self.intel.whois is not None
+                            and domain not in report.whois_facts
+                        ):
+                            record = self.intel.whois_lookup(
+                                day_report.tenant_id, domain
+                            )
+                            when = (day_report.day + 1) * SECONDS_PER_DAY
+                            report.whois_facts[domain] = (
+                                (record.age_days(when),
+                                 record.validity_days(when))
+                                if record is not None else None
+                            )
                 report.days.extend(
                     sorted(round_reports, key=lambda r: r.tenant_id)
                 )

@@ -1,12 +1,14 @@
 """Tenant manifest: the on-disk description of a detection fleet.
 
 A fleet is declared by one JSON document listing the enterprises to
-run, each with its own log directory and reduction filters, plus an
-optional shared VT feed::
+run, each with its own log directory, pipeline and reduction filters,
+plus optional shared intelligence inputs (a VT feed and a WHOIS
+registry)::
 
     {
       "version": 1,
       "vt_reported": "intel/vt_reported.txt",
+      "whois": "intel/whois.json",
       "tenants": [
         {
           "id": "acme",
@@ -15,9 +17,20 @@ optional shared VT feed::
           "pattern": "dns-*.log",
           "internal_suffixes": ["int.c0"],
           "server_ips": ["172.17.2.1"]
+        },
+        {
+          "id": "globex",
+          "directory": "globex/logs",
+          "pipeline": "enterprise",
+          "model_state": "globex/model.json"
         }
       ]
     }
+
+``pipeline`` selects the tenant's log family: ``"dns"`` (the default;
+LANL-style logs through the multi-host C&C heuristic) or
+``"enterprise"`` (pre-joined web-proxy logs through the trained
+regression scorers, which ``model_state`` must supply).
 
 Relative paths resolve against the manifest's own directory, so a
 generated fleet layout is relocatable.  All validation errors raise
@@ -32,7 +45,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..intel.whois_db import WhoisDatabase, load_whois_file
+
 MANIFEST_VERSION = 1
+
+PIPELINES = ("dns", "enterprise")
 
 
 class ManifestError(RuntimeError):
@@ -49,6 +66,12 @@ class TenantSpec:
     pattern: str = "dns-*.log"
     internal_suffixes: tuple[str, ...] = ()
     server_ips: frozenset[str] = frozenset()
+    pipeline: str = "dns"
+    """``"dns"`` or ``"enterprise"`` -- which engine consumes the logs."""
+
+    model_state: Path | None = None
+    """Trained detector state for enterprise tenants (``None`` on the
+    DNS path, whose scorers need no training)."""
 
 
 @dataclass
@@ -58,6 +81,12 @@ class FleetManifest:
     tenants: list[TenantSpec]
     vt_reported: set[str] | None = None
     """Domains the shared VT feed reports, or ``None`` without a feed."""
+
+    whois: WhoisDatabase | None = None
+    """The shared WHOIS registry, or ``None`` without one."""
+
+    whois_path: Path | None = None
+    """Where :attr:`whois` was loaded from (process workers re-load it)."""
 
     path: Path | None = field(default=None, repr=False)
 
@@ -94,13 +123,42 @@ def _tenant_from_payload(
             raise ManifestError(
                 f"tenant {tenant_id!r}: {key!r} must be a list of strings"
             )
+    pipeline = payload.get("pipeline", "dns")
+    if pipeline not in PIPELINES:
+        raise ManifestError(
+            f"tenant {tenant_id!r}: unknown pipeline {pipeline!r} "
+            f"(use one of {', '.join(PIPELINES)})"
+        )
+    model_state: Path | None = None
+    raw_model = payload.get("model_state")
+    if pipeline == "enterprise":
+        if not isinstance(raw_model, str) or not raw_model:
+            raise ManifestError(
+                f"tenant {tenant_id!r}: enterprise pipeline requires "
+                "'model_state' (a trained detector JSON)"
+            )
+        model_state = (resolved / raw_model).resolve()
+        if not model_state.is_file():
+            model_state = (base / raw_model).resolve()
+        if not model_state.is_file():
+            raise ManifestError(
+                f"tenant {tenant_id!r}: model_state not found: {raw_model}"
+            )
+    elif raw_model is not None:
+        raise ManifestError(
+            f"tenant {tenant_id!r}: 'model_state' is only valid with "
+            "the enterprise pipeline"
+        )
+    default_pattern = "proxy-*.log" if pipeline == "enterprise" else "dns-*.log"
     return TenantSpec(
         tenant_id=tenant_id,
         directory=resolved,
         bootstrap_files=bootstrap_files,
-        pattern=str(payload.get("pattern", "dns-*.log")),
+        pattern=str(payload.get("pattern", default_pattern)),
         internal_suffixes=tuple(payload.get("internal_suffixes", ())),
         server_ips=frozenset(payload.get("server_ips", ())),
+        pipeline=pipeline,
+        model_state=model_state,
     )
 
 
@@ -144,4 +202,24 @@ def load_manifest(path: str | Path) -> FleetManifest:
             for line in vt_file.read_text().splitlines()
             if line.strip()
         }
-    return FleetManifest(tenants=tenants, vt_reported=vt_reported, path=path)
+
+    whois = None
+    whois_path = None
+    raw_whois = payload.get("whois")
+    if raw_whois is not None:
+        whois_path = (base / str(raw_whois)).resolve()
+        if not whois_path.is_file():
+            raise ManifestError(f"whois file not found: {whois_path}")
+        try:
+            whois = load_whois_file(whois_path)
+        except (ValueError, KeyError) as exc:
+            raise ManifestError(
+                f"whois file {whois_path} is invalid: {exc}"
+            ) from exc
+    return FleetManifest(
+        tenants=tenants,
+        vt_reported=vt_reported,
+        whois=whois,
+        whois_path=whois_path,
+        path=path,
+    )

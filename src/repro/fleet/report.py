@@ -11,6 +11,11 @@ and aggregates them into a :class:`FleetReport`:
 * VT classification of every detected domain through the shared cache
   (``reported`` / ``unreported`` / ``unknown`` without a feed), i.e.
   the paper's known-malicious vs candidate-new-discovery split;
+* **WHOIS registration columns** -- age and remaining validity (in
+  days, at first detection) of every detected domain, resolved through
+  the shared WHOIS cache.  The paper's DomAge/DomValidity observation
+  -- attacker infrastructure skews young and short-lived -- surfaced
+  fleet-wide for the SOC;
 * the intel plane's cache and seeding accounting.
 """
 
@@ -80,10 +85,22 @@ class FleetReport:
     rounds: int = 0
     interrupted: bool = False
     vt_labels: dict[str, bool | None] = field(default_factory=dict)
+    whois_facts: dict[str, tuple[float, float] | None] = field(
+        default_factory=dict
+    )
+    """Detected domain -> (age_days, validity_days) at first detection,
+    or ``None`` for unregistered domains; empty without a WHOIS feed.
+    Ages are measured on the *detecting tenant's* clock -- the one its
+    own registration features used -- so in a mixed-pipeline fleet two
+    tenants confirming the same domain the same round can report
+    slightly different ages (enterprise engines count days from their
+    trained bootstrap)."""
+
     intel: IntelPlane | None = field(default=None, repr=False)
 
     @property
     def tenant_ids(self) -> list[str]:
+        """Sorted ids of every tenant with at least one day report."""
         seen: dict[str, None] = {}
         for report in self.days:
             seen.setdefault(report.tenant_id, None)
@@ -93,6 +110,7 @@ class FleetReport:
         return [r for r in self.days if r.tenant_id == tenant_id]
 
     def detected_by_tenant(self) -> dict[str, set[str]]:
+        """Tenant id -> set of all domains it detected, any day."""
         out: dict[str, set[str]] = defaultdict(set)
         for report in self.days:
             out[report.tenant_id].update(report.detected)
@@ -134,6 +152,13 @@ class FleetReport:
             ],
             "vt_labels": {
                 domain: label for domain, label in sorted(self.vt_labels.items())
+            },
+            "whois": {
+                domain: (
+                    {"age_days": facts[0], "validity_days": facts[1]}
+                    if facts is not None else None
+                )
+                for domain, facts in sorted(self.whois_facts.items())
             },
             "seeded_detections": self.seeded_detections(),
         }
@@ -181,6 +206,22 @@ class FleetReport:
                 ],
                 title="Cross-tenant overlap (domains seen in >= 2 tenants)",
             ))
+        if self.whois_facts:
+            lines.append("")
+            lines.append(render_table(
+                ("domain", "age_d", "valid_d", "vt"),
+                [
+                    (
+                        domain,
+                        _whois_days(facts, 0),
+                        _whois_days(facts, 1),
+                        _vt_label(self.vt_labels.get(domain)),
+                    )
+                    for domain, facts in sorted(self.whois_facts.items())
+                ],
+                title="WHOIS registration of detected domains "
+                      "(age / remaining validity at first detection)",
+            ))
         if self.intel is not None:
             vt = self.intel.vt_cache.stats
             lines.append("")
@@ -197,3 +238,9 @@ def _vt_label(value: bool | None) -> str:
     if value is None:
         return "unknown"
     return "reported" if value else "new"
+
+
+def _whois_days(facts: tuple[float, float] | None, index: int) -> str:
+    if facts is None:
+        return "-"
+    return f"{facts[index]:.1f}"

@@ -2,6 +2,18 @@
 
 from .ioc import IocList
 from .virustotal import VirusTotalOracle
-from .whois_db import WhoisDatabase, WhoisRecord
+from .whois_db import (
+    WhoisDatabase,
+    WhoisRecord,
+    load_whois_file,
+    save_whois_file,
+)
 
-__all__ = ["IocList", "VirusTotalOracle", "WhoisDatabase", "WhoisRecord"]
+__all__ = [
+    "IocList",
+    "VirusTotalOracle",
+    "WhoisDatabase",
+    "WhoisRecord",
+    "load_whois_file",
+    "save_whois_file",
+]

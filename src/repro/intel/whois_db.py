@@ -74,3 +74,44 @@ class WhoisDatabase:
         """Return the record, or ``None`` for unregistered/unparseable
         domains (the caller imputes averages, as the paper does)."""
         return self._records.get(domain)
+
+    def merge(self, other: "WhoisDatabase") -> None:
+        """Fold another registry's records into this one."""
+        self._records.update(other._records)
+
+    # ------------------------------------------------------------------
+    # On-disk form (fleet layouts, enterprise replay)
+    # ------------------------------------------------------------------
+
+    def to_json_dict(self) -> dict[str, list[float]]:
+        """JSON-serializable ``{domain: [registered, expires]}`` form."""
+        return {
+            domain: [record.registered, record.expires]
+            for domain, record in sorted(self._records.items())
+        }
+
+    @classmethod
+    def from_json_dict(
+        cls, payload: dict[str, list[float]]
+    ) -> "WhoisDatabase":
+        """Rebuild a registry from :meth:`to_json_dict` output."""
+        database = cls()
+        for domain, (registered, expires) in payload.items():
+            database.register(str(domain), float(registered), float(expires))
+        return database
+
+
+def save_whois_file(database: WhoisDatabase, path) -> None:
+    """Write a registry to ``path`` as an inspectable JSON document."""
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(database.to_json_dict(), indent=1) + "\n")
+
+
+def load_whois_file(path) -> WhoisDatabase:
+    """Read a registry previously written by :func:`save_whois_file`."""
+    import json
+    from pathlib import Path
+
+    return WhoisDatabase.from_json_dict(json.loads(Path(path).read_text()))

@@ -46,6 +46,7 @@ class ReductionStats:
     )
 
     def observe(self, step: str, day: int, domain: str) -> None:
+        """Record one day's pre/post-reduction record counts."""
         self.domains[step][day].add(domain)
         self.records[step][day] += 1
 
@@ -57,6 +58,7 @@ class ReductionStats:
         return dict(self.records[step])
 
     def days(self) -> list[int]:
+        """How many days of reduction this tracker has observed."""
         observed: set[int] = set()
         for per_day in self.domains.values():
             observed.update(per_day)

@@ -88,10 +88,12 @@ class DailyTraffic:
         return len(self.hosts_by_domain.get(domain, ()))
 
     def connection_times(self, host: str, domain: str) -> list[float]:
+        """Sorted timestamps of one (host, domain) pair's connections."""
         self.finalize()
         return self.timestamps.get((host, domain), [])
 
     def first_contact(self, host: str, domain: str) -> float | None:
+        """Earliest timestamp any host reached ``domain`` today."""
         times = self.connection_times(host, domain)
         return times[0] if times else None
 

@@ -53,6 +53,7 @@ def encode_history(history: DestinationHistory) -> dict[str, Any]:
 
 
 def decode_history(payload: dict[str, Any]) -> DestinationHistory:
+    """Rebuild a DestinationHistory from :func:`encode_history` output."""
     history = DestinationHistory()
     history._first_seen.update(
         {str(domain): int(day) for domain, day in payload["first_seen"].items()}
@@ -71,6 +72,7 @@ def encode_ua_history(history: UserAgentHistory) -> dict[str, Any]:
 
 
 def decode_ua_history(payload: dict[str, Any]) -> UserAgentHistory:
+    """Rebuild a UserAgentHistory from :func:`encode_ua_history` output."""
     history = UserAgentHistory(rare_max_hosts=int(payload["rare_max_hosts"]))
     for ua, hosts in payload["hosts_by_ua"].items():
         history._hosts_by_ua[ua] = set(hosts)
@@ -98,6 +100,7 @@ def encode_model(model: LinearModel) -> dict[str, Any]:
 
 
 def decode_model(payload: dict[str, Any]) -> LinearModel:
+    """Rebuild a LinearModel from :func:`encode_model` output."""
     coefficients = tuple(
         Coefficient(
             name=c["name"],
@@ -223,6 +226,7 @@ def encode_bp_result(result) -> dict[str, Any]:
 
 
 def decode_bp_result(payload: dict[str, Any]):
+    """Rebuild a BP result from :func:`encode_bp_result` output."""
     from .core.beliefprop import BeliefPropagationResult, Detection
 
     return BeliefPropagationResult(
@@ -365,6 +369,142 @@ def restore_streaming(payload: dict[str, Any]):
     detector.events_total = int(payload["events_total"])
     detector.resync()
     return detector
+
+
+# ---------------------------------------------------------------------------
+# Streaming enterprise checkpoint (trained models + mid-day window)
+# ---------------------------------------------------------------------------
+
+def streaming_enterprise_state(detector) -> dict[str, Any]:
+    """Snapshot of a :class:`~repro.streaming.StreamingEnterpriseDetector`.
+
+    Wraps the trained batch detector's document (config, histories,
+    both regression models) with the streaming extras: same-day staged
+    UA observations, the in-flight window, the previous
+    belief-propagation round, and the WHOIS imputation counters --
+    the running means are detection state (imputed features depend on
+    them), so a restore must resume them exactly.  WHOIS *records* are
+    an external registry and are re-attached by the caller.
+    """
+    if len(detector.bus) > 0:
+        raise StateError(
+            f"{len(detector.bus)} events still queued on the event bus; "
+            "call poll() before snapshotting"
+        )
+    whois = detector.batch.extractor.whois
+    return {
+        "version": STATE_VERSION,
+        "kind": "streaming-enterprise",
+        "detector": detector_state(detector.batch),
+        "ua_pending": encode_ua_pending(detector.batch.ua_history),
+        "window": encode_window(detector.window),
+        "start_day": detector.start_day,
+        "prior": (
+            encode_bp_result(detector.prior)
+            if detector.prior is not None else None
+        ),
+        "events_total": detector.events_total,
+        "warm": {
+            "enabled": detector.warm.enabled,
+            "full_recompute_fraction": detector.warm.full_recompute_fraction,
+        },
+        "whois_impute": (
+            {
+                "age_sum": whois._age_sum,
+                "validity_sum": whois._validity_sum,
+                "observed": whois._observed,
+            }
+            if whois is not None else None
+        ),
+    }
+
+
+def restore_streaming_enterprise(payload: dict[str, Any], whois=None):
+    """Rebuild a streaming enterprise detector from its snapshot.
+
+    ``whois`` re-attaches the external registration registry (not part
+    of the snapshot); without it the regression features fall back to
+    imputation, resumed from the snapshotted counters.
+    """
+    from .streaming import StreamingEnterpriseDetector, WarmStartConfig
+
+    version = payload.get("version")
+    if version != STATE_VERSION:
+        raise StateError(f"unsupported state version {version!r}")
+    if payload.get("kind") != "streaming-enterprise":
+        raise StateError(
+            f"not a streaming-enterprise checkpoint "
+            f"(kind={payload.get('kind')!r})"
+        )
+    batch = restore_detector(payload["detector"], whois=whois)
+    if payload.get("ua_pending"):
+        decode_ua_pending(batch.ua_history, payload["ua_pending"])
+    detector = StreamingEnterpriseDetector(
+        batch,
+        start_day=int(payload["start_day"]),
+        warm=WarmStartConfig(
+            enabled=bool(payload["warm"]["enabled"]),
+            full_recompute_fraction=float(
+                payload["warm"]["full_recompute_fraction"]
+            ),
+        ),
+    )
+    decode_window(detector.window, payload["window"])
+    if payload["prior"] is not None:
+        detector.prior = decode_bp_result(payload["prior"])
+    detector.events_total = int(payload["events_total"])
+    impute = payload.get("whois_impute")
+    if impute is not None:
+        extractor = batch.extractor.whois
+        if extractor is None:
+            # The original engine had a registry; keep imputing from
+            # the snapshotted means even when it isn't re-attached, so
+            # registration features degrade gracefully instead of
+            # snapping to the cold defaults.
+            from .features.whois import WhoisFeatureExtractor
+            from .intel.whois_db import WhoisDatabase
+
+            extractor = WhoisFeatureExtractor(WhoisDatabase())
+            batch.extractor.whois = extractor
+        extractor._age_sum = float(impute["age_sum"])
+        extractor._validity_sum = float(impute["validity_sum"])
+        extractor._observed = int(impute["observed"])
+    detector.resync()
+    return detector
+
+
+def save_streaming_enterprise(detector, path: str | Path) -> None:
+    """Write a streaming enterprise detector's checkpoint as JSON."""
+    save_json_atomic(streaming_enterprise_state(detector), path)
+
+
+def load_streaming_enterprise(path: str | Path, whois=None):
+    """Restore a checkpoint saved with :func:`save_streaming_enterprise`."""
+    return restore_streaming_enterprise(load_json(path), whois=whois)
+
+
+# ---------------------------------------------------------------------------
+# Engine-generic dispatch (the fleet holds engines of either pipeline)
+# ---------------------------------------------------------------------------
+
+def encode_engine(engine) -> dict[str, Any]:
+    """Snapshot a streaming engine of either pipeline (kind-tagged)."""
+    from .streaming import StreamingEnterpriseDetector
+
+    if isinstance(engine, StreamingEnterpriseDetector):
+        return streaming_enterprise_state(engine)
+    return streaming_state(engine)
+
+
+def restore_engine(payload: dict[str, Any], whois=None):
+    """Rebuild a streaming engine from :func:`encode_engine` output,
+    dispatching on the snapshot's ``kind`` tag."""
+    kind = payload.get("kind")
+    if kind == "streaming-enterprise":
+        return restore_streaming_enterprise(payload, whois=whois)
+    if kind == "streaming":
+        return restore_streaming(payload)
+    raise StateError(f"not a streaming engine checkpoint (kind={kind!r})")
 
 
 def save_json_atomic(payload: dict[str, Any], path: str | Path) -> None:

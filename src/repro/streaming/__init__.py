@@ -25,6 +25,8 @@ from .detector import (
     StreamUpdate,
     replay_directory,
 )
+from .engine import StreamingEngineBase
+from .enterprise import StreamingEnterpriseDetector, replay_enterprise_directory
 from .events import EventBus, dns_connection_stream, micro_batches, shard_of
 from .incremental import (
     IncrementalGraph,
@@ -40,11 +42,14 @@ __all__ = [
     "StreamDayReport",
     "StreamUpdate",
     "StreamingDetector",
+    "StreamingEngineBase",
+    "StreamingEnterpriseDetector",
     "WarmStartConfig",
     "WindowedAggregator",
     "dns_connection_stream",
     "micro_batches",
     "replay_directory",
+    "replay_enterprise_directory",
     "shard_of",
     "warm_start_belief_propagation",
 ]

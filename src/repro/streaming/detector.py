@@ -34,21 +34,22 @@ from ..config import LANL_CONFIG, SystemConfig
 from ..core.beliefprop import BeliefPropagationResult
 from ..core.scoring import AdditiveSimilarityScorer, multi_host_beacon_heuristic
 from ..logs.dns import parse_dns_log
-from ..logs.records import Connection, DnsRecord
+from ..logs.records import DnsRecord
 from ..logs.reduction import ReductionFunnel
 from ..profiling.history import DestinationHistory
 from ..profiling.rare import extract_rare_domains
 from ..profiling.ua import UserAgentHistory
 from ..runner import detect_on_traffic
-from ..timing.detector import AutomationDetector, AutomationVerdict
-from .events import EventBus, dns_connection_stream, micro_batches
-from .incremental import (
-    IncrementalGraph,
-    WarmStartConfig,
-    warm_start_belief_propagation,
+from ..timing.detector import AutomationDetector
+from .engine import (
+    ReplayResult,
+    StreamingEngineBase,
+    drive_replay,
+    resolve_replay_paths,
+    validate_replay_intervals,
 )
-from .verdicts import SeriesVerdictCache, VerdictCacheStats
-from .window import WindowedAggregator
+from .events import dns_connection_stream
+from .incremental import WarmStartConfig, warm_start_belief_propagation
 
 
 @dataclass(frozen=True)
@@ -83,8 +84,13 @@ class StreamDayReport:
     intel_seeded: set[str] = field(default_factory=set)
     """Domains seeded from shared intelligence (fleet mode)."""
 
+    day_result: "object | None" = None
+    """The enterprise path's full :class:`repro.core.DayResult` (both
+    belief-propagation modes, scored C&C domains); ``None`` on the
+    DNS path."""
 
-class StreamingDetector:
+
+class StreamingDetector(StreamingEngineBase):
     """Online DNS-path detector with checkpointable mid-day state."""
 
     def __init__(
@@ -101,34 +107,20 @@ class StreamingDetector:
         self.config = config or LANL_CONFIG
         self.internal_suffixes = internal_suffixes
         self.server_ips = server_ips
-        self.history = history if history is not None else DestinationHistory()
         self.funnel = ReductionFunnel(
             internal_suffixes,
             server_ips,
             fold_level=self.config.rarity.fold_level,
         )
-        self.automation = AutomationDetector(self.config.histogram)
         self.scorer = AdditiveSimilarityScorer()
-        self.window = WindowedAggregator(
-            0,
-            self.history,
+        super().__init__(
+            history=history if history is not None else DestinationHistory(),
+            automation=AutomationDetector(self.config.histogram),
             unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
             ua_history=ua_history,
+            warm=warm,
+            n_shards=n_shards,
         )
-        self.graph = IncrementalGraph()
-        self.bus = EventBus(n_shards)
-        self.warm = warm or WarmStartConfig()
-        self.prior: BeliefPropagationResult | None = None
-        self._verdicts: dict[tuple[str, str], AutomationVerdict] = {}
-        self._stale_pairs: set[tuple[str, str]] = set()
-        self._series_cache = SeriesVerdictCache(self.automation)
-        self._pending_times: dict[tuple[str, str], list[float]] = {}
-        self.events_total = 0
-
-    @property
-    def verdict_stats(self) -> VerdictCacheStats:
-        """Skip/test counters of the period-aware verdict cache."""
-        return self._series_cache.stats
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -142,80 +134,9 @@ class StreamingDetector:
             )
         )
 
-    def submit(self, connections: Iterable[Connection]) -> int:
-        """Publish already-normalized connections onto the event bus."""
-        return self.bus.publish(connections)
-
-    def poll(self, max_events: int | None = None) -> int:
-        """Drain the bus into the window; returns events consumed."""
-        batch = self.bus.drain(max_events=max_events)
-        if batch:
-            self._ingest(batch)
-        return len(batch)
-
-    def ingest(self, connections: Iterable[Connection]) -> int:
-        """Synchronous convenience: publish one micro-batch and drain it."""
-        published = self.submit(connections)
-        self.poll()
-        return published
-
-    def _ingest(self, batch: Sequence[Connection]) -> None:
-        self.window.ingest(batch)
-        self.events_total += len(batch)
-        for conn in batch:
-            self._pending_times.setdefault(
-                (conn.host, conn.domain), []
-            ).append(conn.timestamp)
-        dirty_pairs, flips = self.window.drain_changes()
-        rare = self.window.rare
-        for domain in flips:
-            if domain in rare:
-                # Newly rare: materialize all of its edges so far.
-                for host in self.window.traffic.hosts_by_domain[domain]:
-                    self.graph.add_edge(host, domain)
-            else:
-                self.graph.remove_domain(domain)
-                for host in self.window.traffic.hosts_by_domain[domain]:
-                    self._verdicts.pop((host, domain), None)
-                    self._series_cache.invalidate((host, domain))
-        for host, domain in dirty_pairs:
-            if domain in rare:
-                self.graph.add_edge(host, domain)
-        self._stale_pairs.update(dirty_pairs)
-
     # ------------------------------------------------------------------
     # Intra-day scoring
     # ------------------------------------------------------------------
-
-    def _refresh_verdicts(self) -> list[AutomationVerdict]:
-        """Re-test only (host, domain) series with new events.
-
-        The :class:`SeriesVerdictCache` makes each re-test proportional
-        to the *new* events: short series skip the histogram entirely,
-        append-only arrivals extend the cached clusters, and on-period
-        beacons skip even the divergence recomputation.
-        """
-        self.window.traffic.finalize()
-        rare = self.window.rare
-        for pair in self._stale_pairs:
-            host, domain = pair
-            new_times = self._pending_times.pop(pair, ())
-            if domain not in rare:
-                self._verdicts.pop(pair, None)
-                self._series_cache.count_not_rare_skip()
-                continue
-            verdict = self._series_cache.test(
-                host, domain,
-                self.window.traffic.timestamps.get(pair, []),
-                new_times,
-            )
-            if verdict.automated:
-                self._verdicts[pair] = verdict
-            else:
-                self._verdicts.pop(pair, None)
-        self._stale_pairs.clear()
-        self._pending_times.clear()
-        return [self._verdicts[pair] for pair in sorted(self._verdicts)]
 
     def score(self, *, hint_hosts: Sequence[str] = ()) -> StreamUpdate:
         """Re-score the current window and return the live detections.
@@ -346,17 +267,11 @@ class StreamingDetector:
                 cc_domains=set(),
                 detected=[],
             )
-        self.window.rollover()
-        self.graph.clear()
-        self.prior = None
-        self._verdicts.clear()
-        self._stale_pairs.clear()
-        self._series_cache.clear()
-        self._pending_times.clear()
+        self._reset_day()
         return report
 
     # ------------------------------------------------------------------
-    # Bootstrap / restore plumbing
+    # Bootstrap plumbing
     # ------------------------------------------------------------------
 
     def bootstrap(self, paths: Iterable[str | Path]) -> int:
@@ -368,31 +283,10 @@ class StreamingDetector:
             self.rollover(detect=False)
         return len(self.history)
 
-    def resync(self) -> None:
-        """Rebuild all derived state from the window (restore path)."""
-        self.window.resync()
-        self.graph = IncrementalGraph.from_traffic(
-            self.window.traffic, self.window.rare
-        )
-        self._verdicts.clear()
-        self._series_cache.clear()
-        self._pending_times.clear()
-        self._stale_pairs = set(self.window.traffic.timestamps)
-
 
 # ---------------------------------------------------------------------------
 # Directory replay (the `repro-detect stream` engine)
 # ---------------------------------------------------------------------------
-
-@dataclass
-class ReplayResult:
-    """What a (possibly interrupted) directory replay produced."""
-
-    reports: list[StreamDayReport] = field(default_factory=list)
-    updates: int = 0
-    batches: int = 0
-    interrupted: bool = False
-
 
 def replay_directory(
     directory: str | Path,
@@ -430,17 +324,8 @@ def replay_directory(
     """
     from ..state import load_streaming, save_streaming
 
-    if score_every < 1:
-        raise ValueError("score_every must be positive")
-    if checkpoint_every < 1:
-        raise ValueError("checkpoint_every must be positive")
-    directory = Path(directory)
-    paths = sorted(directory.glob(pattern))
-    if len(paths) <= bootstrap_files:
-        raise ValueError(
-            f"need more than {bootstrap_files} files in {directory}, "
-            f"found {len(paths)}"
-        )
+    validate_replay_intervals(score_every, checkpoint_every)
+    paths = resolve_replay_paths(directory, pattern, bootstrap_files)
 
     detector: StreamingDetector | None = None
     if resume:
@@ -461,49 +346,29 @@ def replay_directory(
             warm=warm,
         )
 
-    result = ReplayResult()
-    # Each rollover (bootstrap or operational) advances the day counter,
-    # so the counter doubles as the index of the file now in progress.
-    resume_file = detector.window.day
-    skip_events = detector.window.events_today if resume else 0
+    def open_events(path: Path):
+        with path.open() as handle:
+            yield from dns_connection_stream(
+                parse_dns_log(handle),
+                detector.funnel,
+                fold_level=detector.config.rarity.fold_level,
+            )
 
     def checkpoint() -> None:
         if checkpoint_path is not None:
             save_streaming(detector, checkpoint_path)
 
-    for index, path in enumerate(paths):
-        if index < resume_file:
-            continue
-        is_bootstrap = index < bootstrap_files
-        with path.open() as handle:
-            events = dns_connection_stream(
-                parse_dns_log(handle),
-                detector.funnel,
-                fold_level=detector.config.rarity.fold_level,
-            )
-            if index == resume_file and skip_events:
-                remaining = skip_events
-                for event in events:
-                    remaining -= 1
-                    if remaining == 0:
-                        break
-            for batch in micro_batches(events, batch_size):
-                detector.submit(batch)
-                detector.poll()
-                result.batches += 1
-                if not is_bootstrap and result.batches % score_every == 0:
-                    update = detector.score()
-                    result.updates += 1
-                    if on_update is not None:
-                        on_update(update)
-                if result.batches % checkpoint_every == 0:
-                    checkpoint()
-                if max_batches is not None and result.batches >= max_batches:
-                    checkpoint()
-                    result.interrupted = True
-                    return result
-        report = detector.rollover(detect=not is_bootstrap)
-        if not is_bootstrap:
-            result.reports.append(report)
-        checkpoint()
-    return result
+    return drive_replay(
+        detector,
+        paths,
+        bootstrap_files=bootstrap_files,
+        open_events=open_events,
+        checkpoint=checkpoint,
+        resume=resume,
+        batch_size=batch_size,
+        score_every=score_every,
+        checkpoint_every=checkpoint_every,
+        max_batches=max_batches,
+        on_update=on_update,
+        resume_file=detector.window.day,
+    )

@@ -1,0 +1,286 @@
+"""Shared machinery of the streaming detection engines.
+
+Both online engines -- the DNS/LANL-path
+:class:`~repro.streaming.detector.StreamingDetector` and the
+enterprise/proxy-path
+:class:`~repro.streaming.enterprise.StreamingEnterpriseDetector` --
+consume events the same way: publish onto a host-sharded
+:class:`~repro.streaming.events.EventBus`, drain into a
+:class:`~repro.streaming.window.WindowedAggregator`, mirror rarity
+flips into an :class:`~repro.streaming.incremental.IncrementalGraph`,
+and re-test only the (host, domain) timestamp series that saw new
+events through a period-aware
+:class:`~repro.streaming.verdicts.SeriesVerdictCache`.
+
+:class:`StreamingEngineBase` holds exactly that pipeline-independent
+state and its invalidation bookkeeping.  What differs between the two
+paths -- how raw records are normalized, which scorers turn automation
+verdicts into C&C labels, and what the end-of-day batch-parity pass
+runs -- lives in the subclasses (:meth:`submit_raw`, ``score()`` and
+``rollover()``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..logs.records import Connection
+from ..profiling.history import DestinationHistory
+from ..profiling.ua import UserAgentHistory
+from ..timing.detector import AutomationDetector, AutomationVerdict
+from .events import EventBus, micro_batches
+from .incremental import IncrementalGraph, WarmStartConfig
+from .verdicts import SeriesVerdictCache, VerdictCacheStats
+from .window import WindowedAggregator
+
+
+class StreamingEngineBase:
+    """Ingestion, windowing and verdict-invalidation shared by engines.
+
+    Subclasses own the detection-specific pieces (scorers, reduction,
+    the end-of-day parity pass); this base guarantees that whatever the
+    pipeline, the window's indexes, the incremental graph and the
+    cached automation verdicts stay mutually consistent as events
+    arrive, and that a checkpoint restore can rebuild all derived
+    state with :meth:`resync`.
+    """
+
+    def __init__(
+        self,
+        *,
+        history: DestinationHistory,
+        automation: AutomationDetector,
+        unpopular_max_hosts: int,
+        ua_history: UserAgentHistory | None = None,
+        warm: WarmStartConfig | None = None,
+        n_shards: int = 4,
+        start_day: int = 0,
+    ) -> None:
+        self.history = history
+        self.automation = automation
+        self.window = WindowedAggregator(
+            start_day,
+            history,
+            unpopular_max_hosts=unpopular_max_hosts,
+            ua_history=ua_history,
+        )
+        self.graph = IncrementalGraph()
+        self.bus = EventBus(n_shards)
+        self.warm = warm or WarmStartConfig()
+        self.prior = None
+        self._verdicts: dict[tuple[str, str], AutomationVerdict] = {}
+        self._stale_pairs: set[tuple[str, str]] = set()
+        self._series_cache = SeriesVerdictCache(self.automation)
+        self._pending_times: dict[tuple[str, str], list[float]] = {}
+        self.events_total = 0
+
+    @property
+    def verdict_stats(self) -> VerdictCacheStats:
+        """Skip/test counters of the period-aware verdict cache."""
+        return self._series_cache.stats
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def submit(self, connections: Iterable[Connection]) -> int:
+        """Publish already-normalized connections onto the event bus."""
+        return self.bus.publish(connections)
+
+    def poll(self, max_events: int | None = None) -> int:
+        """Drain the bus into the window; returns events consumed."""
+        batch = self.bus.drain(max_events=max_events)
+        if batch:
+            self._ingest(batch)
+        return len(batch)
+
+    def ingest(self, connections: Iterable[Connection]) -> int:
+        """Synchronous convenience: publish one micro-batch and drain it."""
+        published = self.submit(connections)
+        self.poll()
+        return published
+
+    def _ingest(self, batch: Sequence[Connection]) -> None:
+        self.window.ingest(batch)
+        self.events_total += len(batch)
+        for conn in batch:
+            self._pending_times.setdefault(
+                (conn.host, conn.domain), []
+            ).append(conn.timestamp)
+        dirty_pairs, flips = self.window.drain_changes()
+        rare = self.window.rare
+        for domain in flips:
+            if domain in rare:
+                # Newly rare: materialize all of its edges so far.
+                for host in self.window.traffic.hosts_by_domain[domain]:
+                    self.graph.add_edge(host, domain)
+            else:
+                self.graph.remove_domain(domain)
+                for host in self.window.traffic.hosts_by_domain[domain]:
+                    self._verdicts.pop((host, domain), None)
+                    self._series_cache.invalidate((host, domain))
+        for host, domain in dirty_pairs:
+            if domain in rare:
+                self.graph.add_edge(host, domain)
+        self._stale_pairs.update(dirty_pairs)
+
+    # ------------------------------------------------------------------
+    # Verdict refresh (intra-day scoring support)
+    # ------------------------------------------------------------------
+
+    def _refresh_verdicts(self) -> list[AutomationVerdict]:
+        """Re-test only (host, domain) series with new events.
+
+        The :class:`SeriesVerdictCache` makes each re-test proportional
+        to the *new* events: short series skip the histogram entirely,
+        append-only arrivals extend the cached clusters, and on-period
+        beacons skip even the divergence recomputation.
+        """
+        self.window.traffic.finalize()
+        rare = self.window.rare
+        for pair in self._stale_pairs:
+            host, domain = pair
+            new_times = self._pending_times.pop(pair, ())
+            if domain not in rare:
+                self._verdicts.pop(pair, None)
+                self._series_cache.count_not_rare_skip()
+                continue
+            verdict = self._series_cache.test(
+                host, domain,
+                self.window.traffic.timestamps.get(pair, []),
+                new_times,
+            )
+            if verdict.automated:
+                self._verdicts[pair] = verdict
+            else:
+                self._verdicts.pop(pair, None)
+        self._stale_pairs.clear()
+        self._pending_times.clear()
+        return [self._verdicts[pair] for pair in sorted(self._verdicts)]
+
+    # ------------------------------------------------------------------
+    # Day boundary / restore plumbing
+    # ------------------------------------------------------------------
+
+    def _reset_day(self) -> None:
+        """Close the window (committing histories once) and clear all
+        per-day derived state for the next day."""
+        self.window.rollover()
+        self.graph.clear()
+        self.prior = None
+        self._verdicts.clear()
+        self._stale_pairs.clear()
+        self._series_cache.clear()
+        self._pending_times.clear()
+
+    def resync(self) -> None:
+        """Rebuild all derived state from the window (restore path)."""
+        self.window.resync()
+        self.graph = IncrementalGraph.from_traffic(
+            self.window.traffic, self.window.rare
+        )
+        self._verdicts.clear()
+        self._series_cache.clear()
+        self._pending_times.clear()
+        self._stale_pairs = set(self.window.traffic.timestamps)
+
+
+# ---------------------------------------------------------------------------
+# Directory replay driver (shared by both pipelines' replay functions)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayResult:
+    """What a (possibly interrupted) directory replay produced."""
+
+    reports: list = field(default_factory=list)
+    updates: int = 0
+    batches: int = 0
+    interrupted: bool = False
+
+
+def validate_replay_intervals(score_every: int, checkpoint_every: int) -> None:
+    """Reject nonpositive scoring/checkpoint cadences up front."""
+    if score_every < 1:
+        raise ValueError("score_every must be positive")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be positive")
+
+
+def resolve_replay_paths(
+    directory: str | Path, pattern: str, bootstrap_files: int
+) -> list[Path]:
+    """The directory's daily log files, validated against the bootstrap
+    count (a replay needs at least one operational file)."""
+    paths = sorted(Path(directory).glob(pattern))
+    if len(paths) <= bootstrap_files:
+        raise ValueError(
+            f"need more than {bootstrap_files} files in {directory}, "
+            f"found {len(paths)}"
+        )
+    return paths
+
+
+def drive_replay(
+    detector,
+    paths: Sequence[Path],
+    *,
+    bootstrap_files: int,
+    open_events,
+    checkpoint,
+    resume: bool,
+    batch_size: int,
+    score_every: int,
+    checkpoint_every: int,
+    max_batches: int | None,
+    on_update,
+    resume_file: int,
+) -> ReplayResult:
+    """Feed daily log files through a streaming engine, micro-batched.
+
+    The single replay loop both pipelines share -- the engine-specific
+    pieces arrive as callables: ``open_events(path)`` yields the file's
+    normalized connections (owning the handle), ``checkpoint()``
+    persists the engine (no-op without a checkpoint path).  The loop
+    invariants live here exactly once: each rollover advances the
+    window day, so ``window.day``'s offset from the engine's start day
+    (``resume_file``) is the index of the file in progress, and
+    ``window.events_today`` counts how many of that file's normalized
+    events were already consumed before a restart.
+    """
+    validate_replay_intervals(score_every, checkpoint_every)
+    result = ReplayResult()
+    skip_events = detector.window.events_today if resume else 0
+    for index, path in enumerate(paths):
+        if index < resume_file:
+            continue
+        is_bootstrap = index < bootstrap_files
+        events = open_events(path)
+        if index == resume_file and skip_events:
+            remaining = skip_events
+            for _ in events:
+                remaining -= 1
+                if remaining == 0:
+                    break
+        for batch in micro_batches(events, batch_size):
+            detector.submit(batch)
+            detector.poll()
+            result.batches += 1
+            if not is_bootstrap and result.batches % score_every == 0:
+                update = detector.score()
+                result.updates += 1
+                if on_update is not None:
+                    on_update(update)
+            if result.batches % checkpoint_every == 0:
+                checkpoint()
+            if max_batches is not None and result.batches >= max_batches:
+                checkpoint()
+                result.interrupted = True
+                return result
+        report = detector.rollover(detect=not is_bootstrap)
+        if not is_bootstrap:
+            result.reports.append(report)
+        checkpoint()
+    return result

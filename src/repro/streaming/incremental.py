@@ -100,6 +100,7 @@ class IncrementalGraph:
         self.dirty_domains.add(domain)
 
     def dirty_fraction(self) -> float:
+        """Share of domains touched since the last scoring round."""
         if not self.dom_host:
             return 1.0
         return len(self.dirty_domains) / len(self.dom_host)
@@ -108,6 +109,7 @@ class IncrementalGraph:
         self.dirty_domains.clear()
 
     def clear(self) -> None:
+        """Drop all edges and dirty-tracking (day rollover)."""
         self.dom_host.clear()
         self.host_rdom.clear()
         self.dirty_domains.clear()

@@ -13,7 +13,10 @@ from .fleet import (
     FleetDataset,
     FleetScenarioConfig,
     SharedCampaignTruth,
+    build_fleet_whois,
     generate_fleet_dataset,
+    train_enterprise_detector,
+    write_enterprise_layout,
     write_fleet_layout,
 )
 from .ipspace import IpAllocator
@@ -43,8 +46,11 @@ __all__ = [
     "FleetDataset",
     "FleetScenarioConfig",
     "SharedCampaignTruth",
+    "build_fleet_whois",
     "generate_enterprise_dataset",
     "generate_fleet_dataset",
+    "train_enterprise_detector",
+    "write_enterprise_layout",
     "write_fleet_layout",
     "IpAllocator",
     "CASE_DATES",

@@ -2,9 +2,9 @@
 
 The paper observes that community feedback (VT reports) amplifies
 detection across organizations; the fleet scenario makes that testable:
-``n_tenants`` independent LANL-style enterprise worlds -- each with its
-own hosts, benign workload and challenge campaigns -- plus **one shared
-attacker campaign** whose C&C infrastructure hits several tenants:
+``n_tenants`` independent enterprise worlds -- each with its own hosts,
+benign workload and campaigns -- plus **one shared attacker campaign**
+whose C&C infrastructure hits several tenants:
 
 * the **lead tenant** is hit first, with enough compromised hosts
   (default two) for the multi-host beaconing heuristic to fire on its
@@ -15,9 +15,21 @@ attacker campaign** whose C&C infrastructure hits several tenants:
   confirmation arrives as an elevated prior through the fleet's shared
   intel plane.
 
-Shared-campaign names use the ``.c9`` label space (tenant worlds mint
-``.c1``-``.c4``/``.n*``), so cross-tenant overlap in a generated fleet
-is attacker infrastructure by construction, never a naming collision.
+Fleets may be **mixed-pipeline**: with
+:attr:`FleetScenarioConfig.enterprise_tenants` set, the trailing
+tenants are enterprise (web-proxy) worlds instead of LANL-style DNS
+worlds.  Their daily logs are written *pre-joined* (the collector has
+already resolved DHCP/VPN addresses to stable hostnames -- the full
+join is exercised by :mod:`repro.synthetic.enterprise` itself), their
+regression models are trained on their bootstrap month at layout-write
+time, and the shared campaign beacons into their proxy traffic -- so
+the lead's (DNS-path) confirmation seeds the follower's proxy-path
+belief propagation across *pipeline types*.
+
+Shared-campaign names use the ``.c9`` label space (DNS tenant worlds
+mint ``.c1``-``.c4``/``.n*``, enterprise worlds realistic TLDs), so
+cross-tenant overlap in a generated fleet is attacker infrastructure
+by construction, never a naming collision.
 """
 
 from __future__ import annotations
@@ -27,13 +39,24 @@ import random
 from dataclasses import dataclass, field, replace
 
 from ..intel.virustotal import VirusTotalOracle
-from ..logs import format_dns_line
-from ..logs.records import DnsRecord, DnsRecordType
+from ..logs import format_dns_line, format_proxy_line
+from ..logs.records import DnsRecord, DnsRecordType, ProxyRecord
 from .dga import _syllables
+from .enterprise import (
+    EnterpriseDataset,
+    EnterpriseDatasetConfig,
+    generate_enterprise_dataset,
+)
 from .ipspace import IpAllocator
 from .lanl import LanlConfig, LanlDataset, generate_lanl_dataset
 
 SECONDS_PER_DAY = 86_400.0
+
+#: Registration interval written for shared-campaign domains in the
+#: fleet's WHOIS registry: minted at epoch, short validity -- the young,
+#: short-lived profile the paper associates with attacker infrastructure.
+SHARED_DOMAIN_REGISTERED = 0.0
+SHARED_DOMAIN_EXPIRES = 200 * SECONDS_PER_DAY
 
 
 @dataclass(frozen=True)
@@ -45,7 +68,28 @@ class FleetScenarioConfig:
     tenant: LanlConfig = field(
         default_factory=lambda: LanlConfig(n_hosts=60, bootstrap_days=3)
     )
-    """Template for every tenant's world; seeds are derived per tenant."""
+    """Template for every DNS tenant's world; seeds are derived per
+    tenant."""
+
+    enterprise_tenants: int = 0
+    """How many of the *trailing* tenants are enterprise (proxy-path)
+    worlds.  Must leave at least the lead tenant on the DNS path: the
+    lead's discovery story relies on the multi-host beaconing
+    heuristic."""
+
+    enterprise_tenant: EnterpriseDatasetConfig = field(
+        default_factory=lambda: EnterpriseDatasetConfig(
+            n_hosts=50,
+            bootstrap_days=9,
+            operation_days=6,
+            quiet_days=3,
+            popular_domains=60,
+            churn_domains_per_day=12,
+            n_campaigns=20,
+        )
+    )
+    """Template for enterprise tenants' worlds; must be rich enough to
+    train both regression models at layout-write time."""
 
     lead_date: int = 2
     """March date the shared campaign hits the lead tenant."""
@@ -88,12 +132,15 @@ class FleetDataset:
     """``n_tenants`` worlds plus the shared campaign ground truth."""
 
     config: FleetScenarioConfig
-    tenants: dict[str, LanlDataset]
+    tenants: dict[str, "LanlDataset | EnterpriseDataset"]
     shared: SharedCampaignTruth
-    _injected: dict[tuple[str, int], list[DnsRecord]] = field(
+    pipelines: dict[str, str] = field(default_factory=dict)
+    """Tenant id -> ``"dns"`` or ``"enterprise"`` (missing = dns)."""
+
+    _injected: dict[tuple[str, int], list] = field(
         repr=False, default_factory=dict
     )
-    _merged_cache: dict[tuple[str, int], list[DnsRecord]] = field(
+    _merged_cache: dict[tuple[str, int], list] = field(
         repr=False, default_factory=dict
     )
 
@@ -109,14 +156,26 @@ class FleetDataset:
     def follower_tenants(self) -> list[str]:
         return self.tenant_ids[1:]
 
-    def tenant_day_records(
-        self, tenant_id: str, march_date: int
-    ) -> list[DnsRecord]:
-        """One tenant's full day: its own world + shared-campaign hits."""
+    def pipeline_of(self, tenant_id: str) -> str:
+        """The tenant's log pipeline (``"dns"`` or ``"enterprise"``)."""
+        return self.pipelines.get(tenant_id, "dns")
+
+    def tenant_day_records(self, tenant_id: str, march_date: int) -> list:
+        """One tenant's full day: its own world + shared-campaign hits.
+
+        DNS tenants yield :class:`DnsRecord` lists; enterprise tenants
+        yield *pre-joined* :class:`ProxyRecord` lists (UTC timestamps,
+        stable hostnames in the source field).
+        """
         key = (tenant_id, march_date)
         cached = self._merged_cache.get(key)
         if cached is None:
-            records = list(self.tenants[tenant_id].day_records(march_date))
+            dataset = self.tenants[tenant_id]
+            if self.pipeline_of(tenant_id) == "enterprise":
+                day = dataset.config.bootstrap_days + (march_date - 1)
+                records = _prejoined_proxy_records(dataset, day)
+            else:
+                records = list(dataset.day_records(march_date))
             records.extend(self._injected.get(key, ()))
             records.sort(key=lambda r: r.timestamp)
             self._merged_cache[key] = cached = records
@@ -125,9 +184,12 @@ class FleetDataset:
     def malicious_domains(self) -> set[str]:
         """Fleet-wide ground-truth malicious set (all tenants + shared)."""
         domains: set[str] = set(self.shared.domains)
-        for dataset in self.tenants.values():
-            for truth in dataset.campaigns:
-                domains.update(truth.malicious_domains)
+        for tenant_id, dataset in self.tenants.items():
+            if self.pipeline_of(tenant_id) == "enterprise":
+                domains.update(dataset.malicious_domains)
+            else:
+                for truth in dataset.campaigns:
+                    domains.update(truth.malicious_domains)
         return domains
 
     def vt_oracle(self) -> VirusTotalOracle:
@@ -192,21 +254,112 @@ def _inject_campaign(
     return records
 
 
+def _prejoined_proxy_records(
+    dataset: EnterpriseDataset, day: int
+) -> list[ProxyRecord]:
+    """One enterprise day as pre-joined proxy records.
+
+    The raw day is pushed through the dataset's own normalization (UTC
+    conversion, DHCP/VPN joins, bare-IP drops) and re-emitted with the
+    stable hostname in the source field and a zero collector offset --
+    the form a fleet collector ships after its own join, so consuming
+    engines need no lease registry.
+    """
+    records = []
+    for conn in dataset.day_connections(day):
+        records.append(ProxyRecord(
+            timestamp=conn.timestamp,
+            source_ip=conn.host,
+            destination=conn.domain,
+            destination_ip=conn.resolved_ip,
+            status_code=conn.status_code,
+            user_agent=conn.user_agent or "",
+            referer=conn.referer if conn.referer is not None else "",
+        ))
+    return records
+
+
+def _inject_enterprise_campaign(
+    dataset: EnterpriseDataset,
+    march_date: int,
+    hosts: tuple[str, ...],
+    delivery: list[str],
+    cc: list[str],
+    domain_ips: dict[str, str],
+    config: FleetScenarioConfig,
+    rng: random.Random,
+) -> list[ProxyRecord]:
+    """Shared-campaign proxy records inside one enterprise tenant.
+
+    Same delivery-then-beacon shape as :func:`_inject_campaign`, emitted
+    as pre-joined proxy lines: no referer and no user agent, exactly
+    the NoRef/RareUA evidence profile the regression features expect of
+    malware traffic.
+    """
+    day = dataset.config.bootstrap_days + (march_date - 1)
+    base = day * SECONDS_PER_DAY
+    records: list[ProxyRecord] = []
+    infection = base + rng.uniform(8 * 3600.0, 13 * 3600.0)
+    for index, host in enumerate(hosts):
+        t = infection + index * rng.uniform(10.0, 300.0)
+        for domain in delivery:
+            records.append(ProxyRecord(
+                timestamp=t, source_ip=host, destination=domain,
+                destination_ip=domain_ips[domain],
+                user_agent="", referer="",
+            ))
+            t += rng.uniform(5.0, 120.0)
+        beacon_start = t + rng.uniform(10.0, 120.0)
+        for domain in cc:
+            t = beacon_start
+            end = base + SECONDS_PER_DAY - 60.0
+            while t < end:
+                records.append(ProxyRecord(
+                    timestamp=t, source_ip=host, destination=domain,
+                    destination_ip=domain_ips[domain],
+                    user_agent="", referer="",
+                ))
+                t += config.beacon_period + rng.uniform(
+                    -config.beacon_jitter, config.beacon_jitter
+                )
+    return records
+
+
 def generate_fleet_dataset(
     config: FleetScenarioConfig | None = None,
 ) -> FleetDataset:
-    """Build ``n_tenants`` correlated worlds from one seed."""
+    """Build ``n_tenants`` correlated worlds from one seed.
+
+    With :attr:`FleetScenarioConfig.enterprise_tenants` set, the
+    trailing tenants are enterprise (proxy-path) worlds; the lead (and
+    any other leading tenants) stay on the DNS path.
+    """
     config = config or FleetScenarioConfig()
     if config.n_tenants < 2:
         raise ValueError("a fleet scenario needs at least 2 tenants")
+    if not 0 <= config.enterprise_tenants < config.n_tenants:
+        raise ValueError(
+            "enterprise_tenants must leave at least the lead tenant "
+            "on the DNS path"
+        )
     rng = random.Random(config.seed ^ 0xF1EE7)
 
-    tenants: dict[str, LanlDataset] = {}
+    n_dns = config.n_tenants - config.enterprise_tenants
+    tenants: dict[str, LanlDataset | EnterpriseDataset] = {}
+    pipelines: dict[str, str] = {}
     for index in range(config.n_tenants):
-        tenant_config = replace(
-            config.tenant, seed=config.seed + 1009 * index
-        )
-        tenants[f"t{index}"] = generate_lanl_dataset(tenant_config)
+        tenant_id = f"t{index}"
+        tenant_seed = config.seed + 1009 * index
+        if index < n_dns:
+            tenants[tenant_id] = generate_lanl_dataset(
+                replace(config.tenant, seed=tenant_seed)
+            )
+            pipelines[tenant_id] = "dns"
+        else:
+            tenants[tenant_id] = generate_enterprise_dataset(
+                replace(config.enterprise_tenant, seed=tenant_seed)
+            )
+            pipelines[tenant_id] = "enterprise"
 
     delivery = _mint_shared_domains(rng, config.shared_delivery_domains)
     cc = _mint_shared_domains(rng, config.shared_cc_domains)
@@ -216,7 +369,7 @@ def generate_fleet_dataset(
 
     hosts_by_tenant: dict[str, tuple[str, ...]] = {}
     date_by_tenant: dict[str, int] = {}
-    injected: dict[tuple[str, int], list[DnsRecord]] = {}
+    injected: dict[tuple[str, int], list] = {}
     for index, (tenant_id, dataset) in enumerate(tenants.items()):
         lead = index == 0
         n_hosts = config.lead_hosts if lead else config.follower_hosts
@@ -227,9 +380,14 @@ def generate_fleet_dataset(
         )
         hosts_by_tenant[tenant_id] = hosts
         date_by_tenant[tenant_id] = date
-        injected[(tenant_id, date)] = _inject_campaign(
-            dataset, date, hosts, delivery, cc, domain_ips, config, rng,
-        )
+        if pipelines[tenant_id] == "enterprise":
+            injected[(tenant_id, date)] = _inject_enterprise_campaign(
+                dataset, date, hosts, delivery, cc, domain_ips, config, rng,
+            )
+        else:
+            injected[(tenant_id, date)] = _inject_campaign(
+                dataset, date, hosts, delivery, cc, domain_ips, config, rng,
+            )
 
     shared = SharedCampaignTruth(
         cc_domains=tuple(cc),
@@ -238,13 +396,126 @@ def generate_fleet_dataset(
         date_by_tenant=date_by_tenant,
     )
     return FleetDataset(
-        config=config, tenants=tenants, shared=shared, _injected=injected
+        config=config,
+        tenants=tenants,
+        shared=shared,
+        pipelines=pipelines,
+        _injected=injected,
     )
 
 
 # ---------------------------------------------------------------------------
 # On-disk layout (what `repro-detect fleet` consumes)
 # ---------------------------------------------------------------------------
+
+def train_enterprise_detector(dataset: EnterpriseDataset):
+    """Train the batch pipeline on an enterprise world's bootstrap month.
+
+    Returns a trained :class:`repro.core.EnterpriseDetector`; raises
+    :class:`ValueError` when the world is too small to fit both
+    regression models (enlarge the tenant template).
+    """
+    from ..config import ENTERPRISE_CONFIG
+    from ..core.pipeline import EnterpriseDetector
+
+    detector = EnterpriseDetector(ENTERPRISE_CONFIG, whois=dataset.whois)
+    detector.train(
+        dataset.day_batches(0, dataset.config.bootstrap_days),
+        dataset.build_virustotal(),
+    )
+    if detector.cc_scorer is None or detector.similarity_scorer is None:
+        raise ValueError(
+            "enterprise tenant training did not produce both regression "
+            "models; enlarge the enterprise tenant configuration"
+        )
+    return detector
+
+
+def write_enterprise_tenant(
+    dataset: EnterpriseDataset,
+    tenant_dir,
+    *,
+    days: int,
+    day_records=None,
+) -> None:
+    """Write one enterprise tenant's runnable files into ``tenant_dir``.
+
+    Produces ``proxy-march-XX.log`` (pre-joined daily logs covering
+    operation days ``bootstrap_days .. bootstrap_days + days - 1``),
+    the trained ``model.json`` the streaming engine restores, and
+    ``ground_truth.txt``.  ``day_records`` overrides the per-March-date
+    record source (the fleet writer injects the shared campaign there).
+    """
+    from pathlib import Path
+
+    from ..state import save_detector
+
+    tenant_dir = Path(tenant_dir)
+    tenant_dir.mkdir(parents=True, exist_ok=True)
+    first = dataset.config.bootstrap_days
+    for march_date in range(1, days + 1):
+        if day_records is not None:
+            records = day_records(march_date)
+        else:
+            records = _prejoined_proxy_records(
+                dataset, first + (march_date - 1)
+            )
+        path = tenant_dir / f"proxy-march-{march_date:02d}.log"
+        with path.open("w") as handle:
+            for record in records:
+                handle.write(format_proxy_line(record) + "\n")
+
+    save_detector(train_enterprise_detector(dataset), tenant_dir / "model.json")
+
+    last = first + days - 1
+    with (tenant_dir / "ground_truth.txt").open("w") as handle:
+        for campaign in dataset.campaigns:
+            active = sorted(set(campaign.active_days) & set(range(first, last + 1)))
+            if not active:
+                continue
+            handle.write(
+                f"days={','.join(str(d) for d in active)} "
+                f"{campaign.campaign_id} "
+                f"hosts={','.join(campaign.host_names)} "
+                f"domains={','.join(campaign.domains)}\n"
+            )
+
+
+def write_enterprise_layout(dataset: EnterpriseDataset, directory, *, days: int):
+    """Write a single-tenant enterprise layout for streaming replay.
+
+    Produces the files ``repro-detect stream --pipeline enterprise``
+    consumes: pre-joined daily proxy logs, the trained ``model.json``,
+    the ``whois.json`` registry, and ``ground_truth.txt``.  Returns the
+    directory.
+    """
+    from pathlib import Path
+
+    from ..intel.whois_db import save_whois_file
+
+    directory = Path(directory)
+    write_enterprise_tenant(dataset, directory, days=days)
+    save_whois_file(dataset.whois, directory / "whois.json")
+    return directory
+
+
+def build_fleet_whois(fleet: FleetDataset):
+    """The fleet-wide WHOIS registry: every enterprise tenant's records
+    plus young, short-validity registrations for the shared campaign --
+    what the intel plane serves and the report's registration columns
+    read."""
+    from ..intel.whois_db import WhoisDatabase
+
+    merged = WhoisDatabase()
+    for tenant_id, dataset in fleet.tenants.items():
+        if fleet.pipeline_of(tenant_id) == "enterprise":
+            merged.merge(dataset.whois)
+    for domain in fleet.shared.domains:
+        merged.register(
+            domain, SHARED_DOMAIN_REGISTERED, SHARED_DOMAIN_EXPIRES
+        )
+    return merged
+
 
 def write_fleet_layout(
     fleet: FleetDataset,
@@ -259,11 +530,16 @@ def write_fleet_layout(
 
         <dir>/manifest.json
         <dir>/intel/vt_reported.txt      # the shared VT feed
+        <dir>/intel/whois.json           # the shared WHOIS registry
         <dir>/shared_truth.txt           # cross-tenant campaign answers
-        <dir>/<tenant>/dns-march-*.log   # per-tenant daily logs
+        <dir>/<tenant>/dns-march-*.log   # DNS tenant daily logs
+        <dir>/<tenant>/proxy-march-*.log # enterprise tenant daily logs
+        <dir>/<tenant>/model.json        # enterprise tenant trained models
         <dir>/<tenant>/ground_truth.txt
     """
     from pathlib import Path
+
+    from ..intel.whois_db import save_whois_file
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -272,6 +548,24 @@ def write_fleet_layout(
     for tenant_id, dataset in fleet.tenants.items():
         tenant_dir = directory / tenant_id
         tenant_dir.mkdir(exist_ok=True)
+        if fleet.pipeline_of(tenant_id) == "enterprise":
+            write_enterprise_tenant(
+                dataset,
+                tenant_dir,
+                days=days,
+                day_records=lambda march, tid=tenant_id: (
+                    fleet.tenant_day_records(tid, march)
+                ),
+            )
+            tenant_entries.append({
+                "id": tenant_id,
+                "directory": tenant_id,
+                "pipeline": "enterprise",
+                "bootstrap_files": bootstrap_files,
+                "pattern": "proxy-*.log",
+                "model_state": "model.json",
+            })
+            continue
         for march_date in range(1, days + 1):
             path = tenant_dir / f"dns-march-{march_date:02d}.log"
             with path.open("w") as handle:
@@ -301,6 +595,7 @@ def write_fleet_layout(
     (intel_dir / "vt_reported.txt").write_text(
         "\n".join(sorted(oracle.reported_domains)) + "\n"
     )
+    save_whois_file(build_fleet_whois(fleet), intel_dir / "whois.json")
 
     shared = fleet.shared
     (directory / "shared_truth.txt").write_text(
@@ -317,6 +612,7 @@ def write_fleet_layout(
         {
             "version": 1,
             "vt_reported": "intel/vt_reported.txt",
+            "whois": "intel/whois.json",
             "tenants": tenant_entries,
         },
         indent=1,

@@ -58,6 +58,7 @@ class IpAllocator:
         return block
 
     def ip_in_block(self, block: tuple[int, int, int]) -> str:
+        """A deterministic address inside the named /16 block."""
         a, b, c = block
         return f"{a}.{b}.{c}.{self._rng.randint(1, 254)}"
 

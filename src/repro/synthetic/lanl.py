@@ -128,6 +128,7 @@ class LanlDataset:
     )
 
     def campaign_for_date(self, march_date: int) -> LanlCampaignTruth | None:
+        """The challenge campaign injected on the given March date."""
         for truth in self.campaigns:
             if truth.march_date == march_date:
                 return truth

@@ -18,6 +18,19 @@ from .synthetic import (
     generate_fleet_dataset,
 )
 
+#: Enterprise tenant template for mixed-pipeline fleet scenarios:
+#: small, but rich enough to train both regression models.
+SMALL_FLEET_ENTERPRISE_TENANT = EnterpriseDatasetConfig(
+    seed=2014,  # replaced per tenant by the fleet generator
+    n_hosts=50,
+    bootstrap_days=9,
+    operation_days=6,
+    quiet_days=3,
+    popular_domains=60,
+    churn_domains_per_day=12,
+    n_campaigns=20,
+)
+
 #: Small but fully featured LANL world used across the suite.
 SMALL_LANL = LanlConfig(
     seed=42,
@@ -58,19 +71,24 @@ def make_multi_enterprise_dataset(
     lead_hosts: int = 2,
     follower_hosts: int = 1,
     vt_coverage: float = 0.8,
+    enterprise_tenants: int = 0,
 ) -> FleetDataset:
     """Small N-tenant world with a shared attack campaign, in one call.
 
     The lead tenant is hit on 3/02 with enough hosts for the multi-host
     C&C heuristic; followers are hit on 3/03 with ``follower_hosts``
     hosts (one, by default, so only cross-tenant prior seeding can
-    catch the campaign there).  Tests and benchmarks share this so a
-    fleet dataset is a deterministic function of ``(n_tenants, seed)``.
+    catch the campaign there).  With ``enterprise_tenants`` set, the
+    trailing followers are enterprise (proxy-path) worlds -- the
+    mixed-pipeline scenario.  Tests and benchmarks share this so a
+    fleet dataset is a deterministic function of its arguments.
     """
     return generate_fleet_dataset(FleetScenarioConfig(
         seed=seed,
         n_tenants=n_tenants,
         tenant=SMALL_FLEET_TENANT,
+        enterprise_tenants=enterprise_tenants,
+        enterprise_tenant=SMALL_FLEET_ENTERPRISE_TENANT,
         lead_hosts=lead_hosts,
         follower_hosts=follower_hosts,
         vt_coverage=vt_coverage,

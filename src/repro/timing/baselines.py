@@ -40,6 +40,7 @@ class StdDevDetector:
     def test_series(
         self, host: str, domain: str, timestamps: Sequence[float]
     ) -> AutomationVerdict:
+        """Automation verdict from the inter-arrival std-dev test."""
         count = len(timestamps)
         if count < self.min_connections:
             return AutomationVerdict(host, domain, False, float("inf"), 0.0, count)
@@ -88,6 +89,7 @@ class FftDetector:
     def test_series(
         self, host: str, domain: str, timestamps: Sequence[float]
     ) -> AutomationVerdict:
+        """Automation verdict from the FFT dominant-peak test."""
         count = len(timestamps)
         if count < self.min_connections:
             return AutomationVerdict(host, domain, False, float("inf"), 0.0, count)
@@ -121,6 +123,7 @@ class AutocorrelationDetector:
     def test_series(
         self, host: str, domain: str, timestamps: Sequence[float]
     ) -> AutomationVerdict:
+        """Automation verdict from the autocorrelation-peak test."""
         count = len(timestamps)
         if count < self.min_connections:
             return AutomationVerdict(host, domain, False, float("inf"), 0.0, count)
@@ -163,6 +166,7 @@ class StaticBinDetector:
     def test_series(
         self, host: str, domain: str, timestamps: Sequence[float]
     ) -> AutomationVerdict:
+        """Automation verdict from static-width histogram stability."""
         count = len(timestamps)
         if count < self.min_connections:
             return AutomationVerdict(host, domain, False, float("inf"), 0.0, count)

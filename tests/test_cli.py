@@ -85,3 +85,103 @@ class TestLanlCommand:
         assert code == 0
         assert "LANL challenge results" in out
         assert "TDR=" in out
+
+
+class TestEnterpriseStreamCommand:
+    @pytest.fixture(scope="class")
+    def layout(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("entcli") / "ent"
+        assert main([
+            "generate", str(out), "--pipeline", "enterprise",
+            "--hosts", "30", "--days", "3", "--seed", "7",
+        ]) == 0
+        return out
+
+    def test_generate_writes_enterprise_layout(self, layout):
+        assert (layout / "proxy-march-01.log").exists()
+        assert (layout / "proxy-march-03.log").exists()
+        assert (layout / "model.json").exists()
+        assert (layout / "whois.json").exists()
+        assert (layout / "ground_truth.txt").exists()
+
+    def test_stream_enterprise_runs(self, layout, capsys):
+        code = main([
+            "stream", str(layout), "--pipeline", "enterprise",
+            "--model-state", str(layout / "model.json"),
+            "--whois", str(layout / "whois.json"),
+            "--bootstrap-files", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("records,") == 3
+
+    def test_stream_enterprise_interrupt_resume(self, layout, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt.json"
+        base = [
+            "stream", str(layout), "--pipeline", "enterprise",
+            "--model-state", str(layout / "model.json"),
+            "--whois", str(layout / "whois.json"),
+            "--bootstrap-files", "0", "--batch-size", "300",
+            "--checkpoint", str(ckpt),
+        ]
+        assert main(base + ["--max-batches", "4"]) == 3
+        assert "interrupted after 4 micro-batches" in capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        assert "records," in capsys.readouterr().out
+
+    def test_enterprise_requires_model_state(self, tmp_path, capsys):
+        assert main([
+            "stream", str(tmp_path), "--pipeline", "enterprise",
+        ]) == 2
+        assert "--model-state" in capsys.readouterr().err
+
+    def test_dns_rejects_enterprise_flags(self, tmp_path, capsys):
+        assert main([
+            "stream", str(tmp_path), "--model-state", "m.json",
+        ]) == 2
+        assert "only valid" in capsys.readouterr().err
+        assert main([
+            "stream", str(tmp_path), "--whois", "w.json",
+        ]) == 2
+        assert "only valid" in capsys.readouterr().err
+
+    def test_enterprise_rejects_internal_suffix(self, tmp_path, capsys):
+        assert main([
+            "stream", str(tmp_path), "--pipeline", "enterprise",
+            "--model-state", "m.json", "--internal-suffix", "int.c0",
+        ]) == 2
+        assert "reduction funnel" in capsys.readouterr().err
+
+    def test_generate_rejects_bad_combos(self, tmp_path, capsys):
+        out = str(tmp_path / "x")
+        assert main([
+            "generate", out, "--pipeline", "enterprise", "--tenants", "2",
+        ]) == 2
+        assert "--enterprise-tenants" in capsys.readouterr().err
+        assert main([
+            "generate", out, "--tenants", "2", "--enterprise-tenants", "2",
+        ]) == 2
+        assert "lead tenant" in capsys.readouterr().err
+        assert main([
+            "generate", out, "--pipeline", "enterprise", "--netflow",
+        ]) == 2
+        assert "netflow" in capsys.readouterr().err
+        assert main([
+            "generate", out, "--enterprise-tenants", "1",
+        ]) == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_generate_mixed_fleet_manifest(self, tmp_path):
+        import json
+
+        out = tmp_path / "fleet"
+        assert main([
+            "generate", str(out), "--tenants", "3",
+            "--enterprise-tenants", "1", "--hosts", "40",
+            "--days", "3", "--seed", "11",
+        ]) == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        pipelines = [t.get("pipeline", "dns") for t in manifest["tenants"]]
+        assert pipelines == ["dns", "dns", "enterprise"]
+        assert manifest["whois"] == "intel/whois.json"
+        assert (out / "t2" / "model.json").exists()

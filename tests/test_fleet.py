@@ -448,3 +448,196 @@ class TestFleetCommand:
 
         assert main(["run", str(tmp_path / "absent")]) == 2
         assert capsys.readouterr().err.startswith("error: ")
+
+
+# ---------------------------------------------------------------------------
+# Mixed-pipeline fleets (DNS + enterprise tenants)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def mixed_dataset():
+    """3 tenants: DNS lead + DNS follower + enterprise follower."""
+    return make_multi_enterprise_dataset(3, enterprise_tenants=1)
+
+
+@pytest.fixture(scope="module")
+def mixed_layout(mixed_dataset, tmp_path_factory) -> Path:
+    directory = tmp_path_factory.mktemp("mixedfleet")
+    return write_fleet_layout(mixed_dataset, directory, days=DAYS)
+
+
+@pytest.fixture(scope="module")
+def mixed_serial(mixed_layout):
+    manifest = load_manifest(mixed_layout)
+    return FleetManager.from_manifest(manifest, workers=1).run()
+
+
+class TestMixedManifest:
+    def test_layout_declares_pipelines(self, mixed_layout):
+        manifest = load_manifest(mixed_layout)
+        by_id = {t.tenant_id: t for t in manifest.tenants}
+        assert by_id["t0"].pipeline == "dns"
+        assert by_id["t2"].pipeline == "enterprise"
+        assert by_id["t2"].model_state is not None
+        assert by_id["t2"].model_state.is_file()
+        assert by_id["t2"].pattern == "proxy-*.log"
+        assert manifest.whois is not None
+        assert manifest.whois_path is not None
+
+    def test_unknown_pipeline_rejected(self, tmp_path):
+        (tmp_path / "logs").mkdir()
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"tenants": [
+            {"id": "a", "directory": "logs", "pipeline": "netflow"},
+        ]}))
+        with pytest.raises(ManifestError, match="unknown pipeline"):
+            load_manifest(path)
+
+    def test_enterprise_requires_model_state(self, tmp_path):
+        (tmp_path / "logs").mkdir()
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"tenants": [
+            {"id": "a", "directory": "logs", "pipeline": "enterprise"},
+        ]}))
+        with pytest.raises(ManifestError, match="requires 'model_state'"):
+            load_manifest(path)
+
+    def test_model_state_rejected_on_dns_path(self, tmp_path):
+        (tmp_path / "logs").mkdir()
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"tenants": [
+            {"id": "a", "directory": "logs", "model_state": "model.json"},
+        ]}))
+        with pytest.raises(ManifestError, match="only valid"):
+            load_manifest(path)
+
+    def test_missing_whois_file(self, tmp_path):
+        (tmp_path / "logs").mkdir()
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({
+            "whois": "absent.json",
+            "tenants": [{"id": "a", "directory": "logs"}],
+        }))
+        with pytest.raises(ManifestError, match="whois file not found"):
+            load_manifest(path)
+
+
+class TestMixedFleetRun:
+    def test_cross_pipeline_seeding_detects_shared_campaign(
+        self, mixed_serial, mixed_dataset
+    ):
+        # The enterprise follower sees ONE beaconing host -- below the
+        # regression C&C evidence its local model fires on -- so only
+        # the DNS lead's confirmation, crossing pipeline types through
+        # the intel plane, can surface the shared campaign there.
+        shared = mixed_dataset.shared
+        assert mixed_dataset.pipeline_of("t2") == "enterprise"
+        seeded_days = [
+            d for d in mixed_serial.days_for("t2") if d.intel_seeded
+        ]
+        assert len(seeded_days) == 1
+        day = seeded_days[0]
+        assert set(shared.domains) <= day.intel_seeded
+        assert set(shared.domains) <= set(day.detected)
+        assert not set(shared.cc_domains) & day.cc_domains
+
+    def test_enterprise_tenant_detects_own_campaigns(
+        self, mixed_serial, mixed_dataset
+    ):
+        dataset = mixed_dataset.tenants["t2"]
+        first = dataset.config.bootstrap_days
+        detected = set(mixed_serial.detected_by_tenant()["t2"])
+        local = {
+            domain
+            for campaign in dataset.campaigns
+            # Layout day k holds operation day first + (k - 1); with
+            # one bootstrap file, detection covers days first+1 .. 
+            for day in campaign.active_days
+            if first + 1 <= day < first + DAYS
+            for domain in campaign.domains
+        }
+        assert local & detected
+
+    def test_whois_columns_cover_shared_campaign(
+        self, mixed_serial, mixed_dataset
+    ):
+        facts = mixed_serial.whois_facts
+        for domain in mixed_dataset.shared.domains:
+            assert facts.get(domain) is not None
+            age_days, validity_days = facts[domain]
+            assert 0.0 < age_days < 10.0
+            assert validity_days > 90.0
+        rendered = mixed_serial.render()
+        assert "WHOIS registration" in rendered
+        payload = mixed_serial.as_dict()
+        sample = payload["whois"][sorted(mixed_dataset.shared.domains)[0]]
+        assert sample["age_days"] == pytest.approx(
+            facts[sorted(mixed_dataset.shared.domains)[0]][0]
+        )
+
+    def test_serial_parallel_parity(self, mixed_layout, mixed_serial):
+        manifest = load_manifest(mixed_layout)
+        parallel = FleetManager.from_manifest(manifest, workers=3).run()
+        assert _detections(parallel) == _detections(mixed_serial)
+
+    def test_process_interrupt_resume_matches_serial(
+        self, mixed_layout, mixed_serial, tmp_path
+    ):
+        # The acceptance scenario: a mixed-pipeline fleet interrupted
+        # mid-run resumes from per-tenant checkpoints (enterprise
+        # engines restored with their trained models and the shared
+        # WHOIS registry) to the uninterrupted outcome.
+        manifest = load_manifest(mixed_layout)
+        ckpt = tmp_path / "ckpt"
+        first = FleetManager.from_manifest(
+            manifest, workers=2, executor="process", checkpoint_dir=ckpt,
+        ).run(max_rounds=2)
+        assert first.interrupted
+        second = FleetManager.from_manifest(
+            manifest, workers=2, executor="process",
+            checkpoint_dir=ckpt, resume=True,
+        ).run()
+        assert not second.interrupted
+        combined = {}
+        for day in first.days + second.days:
+            combined.setdefault(day.tenant_id, []).extend(day.detected)
+        assert {t: sorted(d) for t, d in combined.items()} == _detections(
+            mixed_serial
+        )
+
+    def test_whois_lookups_count_cross_tenant_hits(self, mixed_serial):
+        stats = mixed_serial.intel.whois_cache.stats
+        assert stats.misses > 0
+
+    def test_crash_recovery_carries_enterprise_round(
+        self, mixed_layout, mixed_serial, tmp_path
+    ):
+        # Crash window: a tenant's checkpoint is written for round k
+        # but the fleet never commits round k.  Rewinding fleet.json
+        # simulates it; on resume the uncommitted round's reports must
+        # be re-published once -- including the enterprise tenant's,
+        # whose engine day differs from the round number.
+        manifest = load_manifest(mixed_layout)
+        ckpt = tmp_path / "ckpt"
+        FleetManager.from_manifest(
+            manifest, checkpoint_dir=ckpt,
+        ).run(max_rounds=2)
+        state = json.loads((ckpt / "fleet.json").read_text())
+        assert state["rounds"] == 2
+        state["rounds"] = 1
+        (ckpt / "fleet.json").write_text(json.dumps(state))
+
+        resumed = FleetManager.from_manifest(
+            manifest, checkpoint_dir=ckpt, resume=True,
+        ).run()
+        recovered = [d for d in resumed.days if d.tenant_id == "t2"]
+        # Round 1 (the rewound one) is re-published from the carried
+        # checkpoint; rounds 2..N run live.  No round is lost or doubled.
+        assert len(recovered) == DAYS - 1
+        assert len({d.day for d in recovered}) == len(recovered)
+        combined = {}
+        serial_days = {
+            (d.tenant_id, d.day): d.detected for d in mixed_serial.days
+        }
+        for day in resumed.days:
+            assert day.detected == serial_days[(day.tenant_id, day.day)]

@@ -109,3 +109,39 @@ class TestDetectorRoundTrip:
         restored = load_detector(path)
         assert restored.cc_scorer is None
         assert restored.similarity_scorer is None
+
+
+class TestEngineDispatch:
+    """encode_engine/restore_engine route on the snapshot's kind tag."""
+
+    def test_dns_engine_round_trip(self):
+        from repro.state import encode_engine, restore_engine
+        from repro.streaming import StreamingDetector
+
+        engine = StreamingDetector()
+        payload = encode_engine(engine)
+        assert payload["kind"] == "streaming"
+        restored = restore_engine(payload)
+        assert isinstance(restored, StreamingDetector)
+
+    def test_enterprise_engine_round_trip(self, trained, enterprise_dataset):
+        import copy
+
+        from repro.state import encode_engine, restore_engine
+        from repro.streaming import StreamingEnterpriseDetector
+
+        engine = StreamingEnterpriseDetector(copy.deepcopy(trained))
+        payload = encode_engine(engine)
+        assert payload["kind"] == "streaming-enterprise"
+        restored = restore_engine(payload, whois=enterprise_dataset.whois)
+        assert isinstance(restored, StreamingEnterpriseDetector)
+        assert restored.start_day == engine.start_day
+        assert restored.batch.cc_scorer.threshold == pytest.approx(
+            engine.batch.cc_scorer.threshold
+        )
+
+    def test_unknown_kind_rejected(self):
+        from repro.state import restore_engine
+
+        with pytest.raises(StateError, match="not a streaming engine"):
+            restore_engine({"version": 1, "kind": "detector"})

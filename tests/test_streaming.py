@@ -715,3 +715,216 @@ class TestStreamCommand:
         stream_tail = [line.split(" records, ")[1]
                        for line in stream_out.splitlines() if " records, " in line]
         assert run_tail == stream_tail
+
+
+# ---------------------------------------------------------------------------
+# Enterprise (proxy-path) streaming
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def trained_enterprise(enterprise_dataset):
+    """The batch pipeline trained on the bootstrap month (shared)."""
+    from repro.core import EnterpriseDetector
+
+    detector = EnterpriseDetector(whois=enterprise_dataset.whois)
+    detector.train(
+        enterprise_dataset.day_batches(
+            0, enterprise_dataset.config.bootstrap_days
+        ),
+        enterprise_dataset.build_virustotal(),
+    )
+    return detector
+
+
+@pytest.fixture(scope="module")
+def enterprise_layout(enterprise_dataset, tmp_path_factory) -> Path:
+    """An on-disk enterprise layout (proxy logs + model.json + whois)."""
+    from repro.synthetic import write_enterprise_layout
+
+    directory = tmp_path_factory.mktemp("entlayout")
+    return write_enterprise_layout(enterprise_dataset, directory, days=3)
+
+
+def _enterprise_pair(trained_enterprise):
+    """Independent batch/stream copies of the same trained system."""
+    import copy
+
+    from repro.streaming import StreamingEnterpriseDetector
+
+    batch = copy.deepcopy(trained_enterprise)
+    stream = StreamingEnterpriseDetector(copy.deepcopy(trained_enterprise))
+    return batch, stream
+
+
+class TestEnterpriseBatchParity:
+    def test_rollover_matches_process_day(
+        self, trained_enterprise, enterprise_dataset
+    ):
+        batch, stream = _enterprise_pair(trained_enterprise)
+        first = enterprise_dataset.config.bootstrap_days
+        for day in range(first, first + 3):
+            conns = enterprise_dataset.day_connections(day)
+            want = batch.process_day(day, conns)
+            stream.ingest(conns)
+            stream.score()  # intra-day rounds must not skew the close
+            report = stream.rollover()
+            assert report.day == day
+            assert report.rare_domains == want.rare_domains
+            assert report.cc_domains == want.cc_domain_names
+            assert set(report.detected) == want.all_detected_domains()
+            assert report.day_result.no_hint is not None or not want.cc_domains
+
+    def test_micro_batch_size_irrelevant(
+        self, trained_enterprise, enterprise_dataset
+    ):
+        from repro.streaming import micro_batches
+
+        _, small = _enterprise_pair(trained_enterprise)
+        _, large = _enterprise_pair(trained_enterprise)
+        day = enterprise_dataset.config.bootstrap_days
+        conns = enterprise_dataset.day_connections(day)
+        for batch in micro_batches(iter(conns), 97):
+            small.ingest(batch)
+            small.score()
+        large.ingest(conns)
+        assert small.rollover().detected == large.rollover().detected
+
+    def test_final_scoring_round_matches_rollover(
+        self, trained_enterprise, enterprise_dataset
+    ):
+        _, stream = _enterprise_pair(trained_enterprise)
+        day = enterprise_dataset.config.bootstrap_days + 1
+        prev = enterprise_dataset.day_connections(day - 1)
+        stream.ingest(prev)
+        stream.rollover(detect=False)
+        stream.ingest(enterprise_dataset.day_connections(day))
+        update = stream.score()
+        report = stream.rollover()
+        # No SOC hints and no intel: the last intra-day round saw the
+        # full window, so it already equals the end-of-day close.
+        assert set(update.detected) == set(report.detected)
+
+    def test_requires_trained_detector(self):
+        from repro.core import EnterpriseDetector
+        from repro.streaming import StreamingEnterpriseDetector
+
+        with pytest.raises(RuntimeError, match="trained"):
+            StreamingEnterpriseDetector(EnterpriseDetector())
+
+
+class TestEnterpriseCheckpoint:
+    def test_midday_restore_finishes_identically(
+        self, trained_enterprise, enterprise_dataset, tmp_path
+    ):
+        from repro.state import load_streaming_enterprise, save_streaming_enterprise
+
+        batch, stream = _enterprise_pair(trained_enterprise)
+        day = enterprise_dataset.config.bootstrap_days
+        conns = enterprise_dataset.day_connections(day)
+        want = batch.process_day(day, conns)
+
+        half = len(conns) // 2
+        stream.ingest(conns[:half])
+        stream.score()
+        path = tmp_path / "ent.json"
+        save_streaming_enterprise(stream, path)
+        restored = load_streaming_enterprise(
+            path, whois=enterprise_dataset.whois
+        )
+        assert restored.window.events_today == stream.window.events_today
+        assert restored.window.rare == stream.window.rare
+
+        restored.ingest(conns[half:])
+        report = restored.rollover()
+        assert set(report.detected) == want.all_detected_domains()
+
+    def test_restore_resumes_whois_imputation_counters(
+        self, trained_enterprise, tmp_path
+    ):
+        from repro.state import load_streaming_enterprise, save_streaming_enterprise
+
+        _, stream = _enterprise_pair(trained_enterprise)
+        whois = stream.batch.extractor.whois
+        path = tmp_path / "ent.json"
+        save_streaming_enterprise(stream, path)
+        restored = load_streaming_enterprise(path, whois=None)
+        impute = restored.batch.extractor.whois
+        assert impute._observed == whois._observed
+        assert impute._age_sum == pytest.approx(whois._age_sum)
+
+    def test_refuses_queued_events(self, trained_enterprise, tmp_path):
+        from repro.state import StateError, save_streaming_enterprise
+
+        _, stream = _enterprise_pair(trained_enterprise)
+        stream.submit([_conn("h1", "d.com", 5.0)])
+        with pytest.raises(StateError, match="queued"):
+            save_streaming_enterprise(stream, tmp_path / "x.json")
+
+    def test_rejects_wrong_kind(self):
+        from repro.state import StateError, restore_streaming_enterprise
+
+        with pytest.raises(StateError, match="streaming-enterprise"):
+            restore_streaming_enterprise({"version": 1, "kind": "streaming"})
+
+
+class TestEnterpriseIntelSeeding:
+    def test_intel_domain_seeds_rollover(
+        self, trained_enterprise, enterprise_dataset
+    ):
+        batch, stream = _enterprise_pair(trained_enterprise)
+        day = enterprise_dataset.config.bootstrap_days
+        conns = enterprise_dataset.day_connections(day)
+        want = batch.process_day(day, conns)
+        undetected_rare = sorted(
+            want.rare_domains - want.all_detected_domains()
+        )
+        assert undetected_rare, "world has no undetected rare domain"
+        target = undetected_rare[0]
+
+        stream.ingest(conns)
+        report = stream.rollover(intel_domains={target, "absent.example"})
+        assert target in report.intel_seeded
+        assert "absent.example" not in report.intel_seeded
+        assert target in report.detected
+        assert set(report.detected) >= want.all_detected_domains()
+
+
+class TestEnterpriseReplay:
+    def test_replay_interrupt_resume_parity(
+        self, enterprise_layout, tmp_path
+    ):
+        from repro.streaming import replay_enterprise_directory
+
+        kwargs = dict(
+            model_state=enterprise_layout / "model.json",
+            whois_path=enterprise_layout / "whois.json",
+            bootstrap_files=0,
+            batch_size=400,
+        )
+        full = replay_enterprise_directory(enterprise_layout, **kwargs)
+        assert len(full.reports) == 3
+
+        ckpt = tmp_path / "ckpt.json"
+        first = replay_enterprise_directory(
+            enterprise_layout, checkpoint_path=ckpt, max_batches=7, **kwargs
+        )
+        assert first.interrupted
+        second = replay_enterprise_directory(
+            enterprise_layout, checkpoint_path=ckpt, resume=True, **kwargs
+        )
+        combined = first.reports + second.reports
+        assert [r.day for r in combined] == [r.day for r in full.reports]
+        for got, want in zip(combined, full.reports):
+            assert got.rare_domains == want.rare_domains
+            assert got.cc_domains == want.cc_domains
+            assert got.detected == want.detected
+
+    def test_replay_requires_model(self, enterprise_layout):
+        from repro.streaming import replay_enterprise_directory
+
+        with pytest.raises(Exception):
+            replay_enterprise_directory(
+                enterprise_layout,
+                model_state=enterprise_layout / "absent.json",
+                bootstrap_files=0,
+            )

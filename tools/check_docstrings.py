@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Docstring coverage gate for ``src/repro``.
+
+The architecture documentation leans on package and module docstrings
+(docs/ARCHITECTURE.md links into them), so missing ones are treated as
+CI failures, not style nits.  Enforced, with no third-party tooling:
+
+* every module must open with a module docstring;
+* every *public* class, and every public function or method longer
+  than a trivial wrapper (more than one statement), must have one.
+
+Dunder methods, private names (leading underscore) and ``test_*``
+files are exempt.  Exit status 0 when clean, 1 with one line per
+violation otherwise — run it as ``python tools/check_docstrings.py``
+(optionally passing an alternative root directory).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _needs_docstring(node: ast.AST) -> bool:
+    if isinstance(node, ast.ClassDef):
+        return not node.name.startswith("_")
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        if node.name.startswith("_"):
+            # Private helpers and dunders (__init__ included: the class
+            # docstring covers construction) are exempt.
+            return False
+        # One-statement bodies (a return, a delegation) may speak for
+        # themselves; anything longer must say what it is for.
+        return len(node.body) > 1
+    return False
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield (node, qualified-name) for definitions needing docstrings."""
+    stack = [(node, "") for node in reversed(tree.body)]
+    while stack:
+        node, prefix = stack.pop()
+        if isinstance(
+            node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            name = f"{prefix}{node.name}"
+            yield node, name
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                stack.extend(
+                    (child, f"{name}.") for child in reversed(node.body)
+                )
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """One line per docstring violation in ``path``."""
+    rel = path.relative_to(root.parent.parent)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{rel}: missing module docstring")
+    for node, name in _walk_definitions(tree):
+        if _needs_docstring(node) and ast.get_docstring(node) is None:
+            problems.append(
+                f"{rel}:{node.lineno}: missing docstring on {name}"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every module under the root; print a coverage summary."""
+    root = Path(argv[1]) if len(argv) > 1 else DEFAULT_ROOT
+    paths = sorted(root.rglob("*.py"))
+    if not paths:
+        print(f"error: no python files under {root}", file=sys.stderr)
+        return 1
+    problems = []
+    for path in paths:
+        if path.name.startswith("test_"):
+            continue
+        problems.extend(check_file(path, root))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} docstring violation(s) in {root}")
+        return 1
+    print(f"docstring coverage OK: {len(paths)} modules under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
