@@ -24,7 +24,7 @@ implement the stated intent and add the argmax domain.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Mapping, Set
+from collections.abc import Callable, Mapping, Sequence, Set
 from dataclasses import dataclass, field
 
 from ..config import BeliefPropagationConfig
@@ -35,6 +35,17 @@ DetectCC = Callable[[str], bool]
 
 SimilarityScore = Callable[[str, set[str]], float]
 """Score of a rare domain against the current malicious set."""
+
+ScoreFrontier = Callable[[Sequence[str], Set[str]], Mapping[str, float]]
+"""Batch hook: scores for a whole frontier at once.
+
+Called with the sorted frontier and the domains added to the malicious
+set since the hook's previous call *in this run* (the first call
+receives the full initial set, including warm-start priors).  A
+stateful implementation (:class:`repro.core.scoring
+.IncrementalAdditiveScorer`, :class:`~repro.core.scoring
+.BatchedSimilarityScorer`) folds in only that delta; labels are
+monotone, so the incremental aggregates are exact."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,7 +107,8 @@ def belief_propagation(
     dom_host: Mapping[str, Set[str]],
     host_rdom: Mapping[str, Set[str]],
     detect_cc: DetectCC,
-    similarity_score: SimilarityScore,
+    similarity_score: SimilarityScore | None = None,
+    score_frontier: ScoreFrontier | None = None,
     config: BeliefPropagationConfig | None = None,
     prior: "BeliefPropagationResult | None" = None,
 ) -> BeliefPropagationResult:
@@ -105,6 +117,16 @@ def belief_propagation(
     ``dom_host`` maps a domain to the hosts contacting it and
     ``host_rdom`` maps a host to the rare domains it visited -- the two
     precomputed maps named in the paper's pseudocode.
+
+    Similarity scoring accepts either form: ``score_frontier`` scores
+    the whole frontier in one call and is handed only the
+    newly-labeled delta (the fast path -- see :data:`ScoreFrontier`),
+    while a per-domain ``similarity_score`` callable is wrapped in a
+    compatibility adapter that rescores every frontier domain against
+    the full malicious set.  Exactly one must be provided; both paths use the
+    same deterministic argmax tie-breaking, so a ``score_frontier``
+    implementation matching the per-domain scores yields byte-identical
+    detections.
 
     ``prior`` warm-starts the run from an earlier round's result: its
     hosts and domains enter ``H`` and ``M`` as already-labeled beliefs
@@ -116,6 +138,10 @@ def belief_propagation(
     monotone in the day's accumulating traffic, while spending
     iterations only on newly labeled domains.
     """
+    if (similarity_score is None) == (score_frontier is None):
+        raise TypeError(
+            "provide exactly one of similarity_score / score_frontier"
+        )
     config = config or BeliefPropagationConfig()
     hosts: set[str] = set(seed_hosts)
     malicious: set[str] = set(seed_domains)
@@ -159,6 +185,21 @@ def belief_propagation(
     for host in hosts:
         rare.update(host_rdom.get(host, ()))
 
+    if score_frontier is None:
+        # Compatibility adapter: per-domain scoring against the full
+        # malicious set, in the same sorted order as always.  The
+        # closure reads the live ``malicious`` local at call time.
+        def score_frontier(
+            frontier: "Sequence[str]", new_malicious: Set[str]
+        ) -> Mapping[str, float]:
+            return {
+                domain: similarity_score(domain, malicious)
+                for domain in frontier
+            }
+
+    #: malicious domains already handed to the batch hook as deltas.
+    reported: set[str] = set()
+
     trace: list[IterationTrace] = []
     for iteration in range(1, config.max_iterations + 1):
         frontier = rare - malicious
@@ -175,10 +216,16 @@ def belief_propagation(
         top_score = 0.0
         # Phase 2: similarity labeling only when no C&C was found.
         if not newly_labeled:
-            scores = {
-                domain: similarity_score(domain, malicious)
-                for domain in sorted(frontier)
-            }
+            ordered = sorted(frontier)
+            scores: dict[str, float] = {}
+            if ordered:
+                delta = malicious - reported
+                batch = score_frontier(ordered, delta)
+                reported |= delta
+                # Canonical dict in sorted-frontier order: argmax and
+                # threshold logic below see the same structure whether
+                # the hook or the per-domain adapter produced it.
+                scores = {domain: batch[domain] for domain in ordered}
             if scores:
                 # max() on sorted items makes argmax ties deterministic.
                 max_domain = max(scores, key=lambda d: (scores[d], d))

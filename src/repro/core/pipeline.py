@@ -51,7 +51,12 @@ from ..profiling.rare import (
 from ..profiling.ua import UserAgentHistory
 from ..timing.detector import AutomationDetector, AutomationVerdict
 from .beliefprop import BeliefPropagationResult, belief_propagation
-from .scoring import RegressionCCScorer, RegressionSimilarityScorer, ScoredDomain
+from .scoring import (
+    BatchedSimilarityScorer,
+    RegressionCCScorer,
+    RegressionSimilarityScorer,
+    ScoredDomain,
+)
 
 DailyBatch = tuple[int, Sequence[Connection]]
 
@@ -327,6 +332,7 @@ def detect_on_enterprise_traffic(
     config: SystemConfig,
     soc_seed_domains: Iterable[str] = (),
     intel_domains: Set[str] = frozenset(),
+    use_index: bool = True,
 ) -> DayResult:
     """The enterprise-path daily detection stages on one day of traffic.
 
@@ -346,6 +352,14 @@ def detect_on_enterprise_traffic(
     one enterprise elevates the prior everywhere it appears, even where
     local evidence (a single beaconing host, say, below the regression
     model's connectivity signal) would not fire ``Detect_C&C`` alone.
+
+    ``use_index`` routes each belief-propagation run through the day's
+    :class:`~repro.profiling.index.TrafficIndex` and a fresh
+    :class:`~repro.core.scoring.BatchedSimilarityScorer` (one per run:
+    its incremental state tracks that run's growing malicious set);
+    ``False`` keeps the legacy per-domain feature extraction.  Both
+    produce identical detections -- the parity the randomized tests
+    assert -- including identical WHOIS imputation state evolution.
     """
     when = (day + 1) * 86_400.0
     traffic.finalize()
@@ -366,17 +380,36 @@ def detect_on_enterprise_traffic(
     cc_set = {scored.domain for scored in cc_domains}
     intel_seeded = set(intel_domains) & rare
 
-    host_rdom = rare_domains_by_host(traffic, rare)
-    dom_host = {
-        domain: frozenset(traffic.hosts_by_domain.get(domain, ()))
-        for domain in rare
-    }
+    if use_index:
+        index = traffic.index()
+        dom_host, host_rdom = traffic.bp_views(rare)
+    else:
+        index = None
+        host_rdom = rare_domains_by_host(traffic, rare)
+        dom_host = {
+            domain: frozenset(traffic.hosts_by_domain.get(domain, ()))
+            for domain in rare
+        }
 
     def detect_cc(domain: str) -> bool:
         return domain in cc_set
 
-    def similarity(domain: str, malicious: set[str]) -> float:
-        return similarity_scorer.score(domain, malicious, traffic, when)
+    def scoring_kwargs() -> dict:
+        """Similarity scoring for one BP run: a fresh batched scorer
+        per run (its state follows that run's malicious set), or the
+        legacy per-domain callable."""
+        if index is None:
+            return {
+                "similarity_score":
+                    lambda domain, malicious:
+                        similarity_scorer.score(
+                            domain, malicious, traffic, when
+                        ),
+            }
+        batched = BatchedSimilarityScorer(
+            similarity_scorer, traffic, when, index=index
+        )
+        return {"score_frontier": batched.score_frontier}
 
     result = DayResult(
         day=day,
@@ -397,8 +430,8 @@ def detect_on_enterprise_traffic(
             dom_host=dom_host,
             host_rdom=host_rdom,
             detect_cc=detect_cc,
-            similarity_score=similarity,
             config=config.belief_propagation,
+            **scoring_kwargs(),
         )
 
     soc_seeds = {d for d in soc_seed_domains if d in traffic.hosts_by_domain}
@@ -412,8 +445,8 @@ def detect_on_enterprise_traffic(
             dom_host=dom_host,
             host_rdom=host_rdom,
             detect_cc=detect_cc,
-            similarity_score=similarity,
             config=config.belief_propagation,
+            **scoring_kwargs(),
         )
 
     return result

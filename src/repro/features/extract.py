@@ -236,6 +236,27 @@ class FeatureExtractor:
                 break
         return ip24, ip16
 
+    def similarity_static(
+        self, domain: str, traffic: DailyTraffic
+    ) -> tuple[float, float, float]:
+        """(no_hosts, no_ref, rare_ua) -- the similarity features that
+        do not depend on the malicious set.
+
+        During belief propagation the malicious set grows every
+        iteration but the day's traffic is frozen, so these three are
+        computed once per frontier domain and cached by the batched
+        scorer (:class:`repro.core.scoring.BatchedSimilarityScorer`);
+        only ``dom_interval``/``ip24``/``ip16`` need incremental
+        updates, and the registration pair is replayed separately to
+        keep WHOIS imputation state batch-identical.
+        """
+        hosts = traffic.hosts_by_domain.get(domain, set())
+        return (
+            scale_count(len(hosts)),
+            self._fraction(traffic.no_referer_hosts.get(domain), hosts),
+            self._fraction(traffic.rare_ua_hosts.get(domain), hosts),
+        )
+
     def similarity_features(
         self,
         domain: str,

@@ -47,17 +47,42 @@ class LinearModel:
     n_samples: int
 
     def score(self, features: Sequence[float]) -> float:
-        """Score one feature vector."""
+        """Score one feature vector.
+
+        The accumulation runs feature by feature, left to right --
+        the same order :meth:`score_many` applies column-wise -- so a
+        vector scored alone and as a matrix row produce bit-identical
+        floats.  Belief propagation compares scores against thresholds
+        and breaks argmax ties deterministically; keeping the serial
+        and batched scorers bit-equal keeps their detections equal.
+        """
         if len(features) != len(self.feature_names):
             raise ValueError(
                 f"expected {len(self.feature_names)} features, got {len(features)}"
             )
-        return float(self.intercept + np.dot(self.weights, features))
+        total = self.intercept
+        for weight, value in zip(self.weights, features):
+            total += weight * value
+        return float(total)
 
     def score_many(self, matrix: np.ndarray) -> np.ndarray:
-        """Score a (n_samples, n_features) matrix."""
+        """Score a (n_samples, n_features) matrix in one vector pass.
+
+        Accumulates one weighted column at a time (eight axpy ops for
+        the similarity model) rather than ``matrix @ weights``: BLAS
+        matvec kernels reorder the reduction, which would break the
+        bit-parity contract :meth:`score` documents.
+        """
         matrix = np.asarray(matrix, dtype=float)
-        return self.intercept + matrix @ self.weights
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"expected (n, {len(self.feature_names)}) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        scores = np.full(matrix.shape[0], self.intercept, dtype=float)
+        for column, weight in enumerate(self.weights):
+            scores += weight * matrix[:, column]
+        return scores
 
     def coefficient(self, name: str) -> Coefficient:
         """The named coefficient; raises KeyError when absent."""

@@ -70,6 +70,21 @@ class WhoisFeatureExtractor:
         self._observed += 1
         return RegistrationFeatures(dom_age=age, dom_validity=validity)
 
+    def extract_known(self, age: float, validity: float) -> RegistrationFeatures:
+        """Re-apply a previously successful lookup's normalized values.
+
+        Batched frontier scoring caches each domain's first
+        :meth:`extract` result; later rescoring rounds replay the
+        cached values through this method so the running imputation
+        means advance *exactly* as the per-domain path's repeated
+        ``extract`` calls would -- the batch-parity requirement of
+        :class:`repro.core.scoring.BatchedSimilarityScorer`.
+        """
+        self._age_sum += age
+        self._validity_sum += validity
+        self._observed += 1
+        return RegistrationFeatures(dom_age=age, dom_validity=validity)
+
     def impute_defaults(self) -> RegistrationFeatures:
         """Mean-imputed features for unparseable WHOIS (Section VI-C).
 

@@ -46,6 +46,11 @@ class TenantDayReport:
     scores: dict[str, float] = field(default_factory=dict)
     """Publication scores per detected domain (seed/C&C labels are 1.0)."""
 
+    elapsed_seconds: float = 0.0
+    """Wall-clock time the tenant's ingest + detection day took; the
+    fleet throughput benchmark aggregates these into the per-PR
+    performance trajectory (``BENCH_perf.json``)."""
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "tenant_id": self.tenant_id,
@@ -57,6 +62,7 @@ class TenantDayReport:
             "detected": list(self.detected),
             "intel_seeded": sorted(self.intel_seeded),
             "scores": dict(self.scores),
+            "elapsed_seconds": self.elapsed_seconds,
         }
 
     @classmethod
@@ -74,6 +80,7 @@ class TenantDayReport:
                 str(domain): float(score)
                 for domain, score in payload.get("scores", {}).items()
             },
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
         )
 
 

@@ -1,0 +1,248 @@
+"""Interned traffic index: the data layer of the scoring hot path.
+
+Belief propagation rescoring (Algorithm 1) repeatedly asks the same
+questions of one day's traffic: which hosts contact this domain, when
+did a host first reach it, which subnets does it resolve into.  The
+plain :class:`~repro.profiling.rare.DailyTraffic` dicts answer them
+with string keys and per-call set copies; at production frontier sizes
+that dominates a detection pass.
+
+:class:`TrafficIndex` interns hosts and domains into dense integer
+ids once and maintains:
+
+* CSR-style host<->domain adjacency -- per-domain host-id lists (in
+  first-contact order) and per-host domain-id lists;
+* per-(host, domain) first-contact times, aligned with the adjacency
+  so similarity scoring never re-scans a timestamp series;
+* per-domain /24 and /16 subnet-key sets, precomputed from resolved
+  IPs as they arrive.
+
+The index is built lazily from a day's aggregate
+(:meth:`DailyTraffic.index <repro.profiling.rare.DailyTraffic.index>`)
+and from then on updated *incrementally* by
+:meth:`DailyTraffic.ingest` -- the streaming
+:class:`~repro.streaming.window.WindowedAggregator` therefore pays
+O(batch) per micro-batch instead of an O(day) rebuild per scoring
+call.  :attr:`version` increments on every mutation so consumers that
+snapshot derived state (the incremental scorers) can detect staleness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Set
+from typing import TYPE_CHECKING
+
+from ..logs.domains import subnet_key
+from ..logs.records import Connection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .rare import DailyTraffic
+
+#: Shift packing (host_id, domain_id) into one dict key; ids are dense
+#: small ints, so the packed key stays a machine-word int in practice.
+_PAIR_SHIFT = 32
+
+
+class TrafficIndex:
+    """Incrementally maintained integer-id view over one day's traffic."""
+
+    def __init__(self, traffic: "DailyTraffic") -> None:
+        self.traffic = traffic
+        self.version = 0
+        self._host_ids: dict[str, int] = {}
+        self._domain_ids: dict[str, int] = {}
+        self._host_names: list[str] = []
+        self._domain_names: list[str] = []
+        #: per domain id: host ids in first-contact order (CSR rows).
+        self._hosts_of: list[list[int]] = []
+        #: per domain id: first-contact time aligned with ``_hosts_of``.
+        self._first_of: list[list[float]] = []
+        #: per host id: domain ids in first-contact order.
+        self._domains_of: list[list[int]] = []
+        #: packed (host_id << 32 | domain_id) -> earliest timestamp.
+        self._first: dict[int, float] = {}
+        #: packed pair -> the pair's row slot in ``_first_of``; makes
+        #: out-of-order earlier timestamps an O(1) update.
+        self._slot: dict[int, int] = {}
+        self._keys24: list[set[str]] = []
+        self._keys16: list[set[str]] = []
+        self._ips_seen: list[set[str]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction / incremental maintenance
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        """Index the traffic's current content (one full scan)."""
+        traffic = self.traffic
+        for (host, domain), times in traffic.timestamps.items():
+            if not times:
+                continue
+            self._record(host, domain, min(times))
+        for domain, ips in traffic.resolved_ips.items():
+            for ip in ips:
+                self._record_ip(domain, ip)
+        self.version += 1
+
+    def observe(self, connections: Iterable[Connection]) -> None:
+        """Fold new connections in (called from ``DailyTraffic.ingest``)."""
+        for conn in connections:
+            self._record(conn.host, conn.domain, conn.timestamp)
+            if conn.resolved_ip:
+                self._record_ip(conn.domain, conn.resolved_ip)
+        self.version += 1
+
+    def _intern_host(self, host: str) -> int:
+        h_id = self._host_ids.get(host)
+        if h_id is None:
+            h_id = len(self._host_names)
+            self._host_ids[host] = h_id
+            self._host_names.append(host)
+            self._domains_of.append([])
+        return h_id
+
+    def _intern_domain(self, domain: str) -> int:
+        d_id = self._domain_ids.get(domain)
+        if d_id is None:
+            d_id = len(self._domain_names)
+            self._domain_ids[domain] = d_id
+            self._domain_names.append(domain)
+            self._hosts_of.append([])
+            self._first_of.append([])
+            self._keys24.append(set())
+            self._keys16.append(set())
+            self._ips_seen.append(set())
+        return d_id
+
+    def _record(self, host: str, domain: str, timestamp: float) -> None:
+        h_id = self._intern_host(host)
+        d_id = self._intern_domain(domain)
+        key = (h_id << _PAIR_SHIFT) | d_id
+        known = self._first.get(key)
+        if known is None:
+            self._first[key] = timestamp
+            self._slot[key] = len(self._hosts_of[d_id])
+            self._hosts_of[d_id].append(h_id)
+            self._first_of[d_id].append(timestamp)
+            self._domains_of[h_id].append(d_id)
+        elif timestamp < known:
+            self._first[key] = timestamp
+            self._first_of[d_id][self._slot[key]] = timestamp
+
+    def _record_ip(self, domain: str, ip: str) -> None:
+        d_id = self._intern_domain(domain)
+        if ip in self._ips_seen[d_id]:
+            return
+        self._ips_seen[d_id].add(ip)
+        self._keys24[d_id].add(subnet_key(ip, 24))
+        self._keys16[d_id].add(subnet_key(ip, 16))
+
+    # ------------------------------------------------------------------
+    # Queries (id-level, used by the incremental scorers)
+    # ------------------------------------------------------------------
+
+    def domain_id(self, domain: str) -> int | None:
+        """Dense id for a domain name; ``None`` when never observed."""
+        return self._domain_ids.get(domain)
+
+    def domain_name(self, d_id: int) -> str:
+        """Name interned under ``d_id``."""
+        return self._domain_names[d_id]
+
+    def hosts_of(self, d_id: int) -> list[int]:
+        """Host ids contacting the domain (first-contact order)."""
+        return self._hosts_of[d_id]
+
+    def first_contacts_of(self, d_id: int) -> list[float]:
+        """First-contact times aligned with :meth:`hosts_of`."""
+        return self._first_of[d_id]
+
+    def domains_of(self, h_id: int) -> list[int]:
+        """Domain ids the host contacted (first-contact order)."""
+        return self._domains_of[h_id]
+
+    def first_contact(self, h_id: int, d_id: int) -> float:
+        """Earliest time ``h_id`` reached ``d_id`` (pair must exist)."""
+        return self._first[(h_id << _PAIR_SHIFT) | d_id]
+
+    def host_count(self, d_id: int) -> int:
+        """Distinct hosts contacting the domain today."""
+        return len(self._hosts_of[d_id])
+
+    def keys24(self, d_id: int) -> set[str]:
+        """/24 subnet keys of the domain's resolved IPs."""
+        return self._keys24[d_id]
+
+    def keys16(self, d_id: int) -> set[str]:
+        """/16 subnet keys of the domain's resolved IPs."""
+        return self._keys16[d_id]
+
+class RareDomHostView(Mapping):
+    """Lazy ``dom_host`` map: rare domain -> hosts contacting it.
+
+    Equivalent to ``{d: frozenset(hosts_by_domain[d]) for d in rare}``
+    without materializing any copy; belief propagation only reads.
+    """
+
+    __slots__ = ("_hosts_by_domain", "_rare")
+
+    def __init__(
+        self, hosts_by_domain: Mapping[str, set[str]], rare: Set[str]
+    ) -> None:
+        self._hosts_by_domain = hosts_by_domain
+        self._rare = rare
+
+    def __getitem__(self, domain: str) -> Set[str]:
+        if domain not in self._rare:
+            raise KeyError(domain)
+        hosts = self._hosts_by_domain.get(domain)
+        if hosts is None:
+            raise KeyError(domain)
+        return hosts
+
+    def __contains__(self, domain: object) -> bool:
+        return domain in self._rare and domain in self._hosts_by_domain
+
+    def __iter__(self) -> Iterator[str]:
+        return (d for d in self._rare if d in self._hosts_by_domain)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+class RareDomainsByHostView(Mapping):
+    """Lazy ``host_rdom`` map: host -> rare domains it visited.
+
+    Intersections are computed on first access and memoized -- belief
+    propagation re-reads each compromised host once per iteration, so
+    the cache turns O(iterations x hosts) set work into O(hosts).
+    """
+
+    __slots__ = ("_domains_by_host", "_rare", "_cache")
+
+    def __init__(
+        self, domains_by_host: Mapping[str, set[str]], rare: Set[str]
+    ) -> None:
+        self._domains_by_host = domains_by_host
+        self._rare = rare
+        self._cache: dict[str, set[str]] = {}
+
+    def __getitem__(self, host: str) -> Set[str]:
+        cached = self._cache.get(host)
+        if cached is None:
+            visited = self._domains_by_host.get(host)
+            if visited is None:
+                raise KeyError(host)
+            cached = visited & self._rare
+            self._cache[host] = cached
+        return cached
+
+    def __contains__(self, host: object) -> bool:
+        return host in self._domains_by_host
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._domains_by_host)
+
+    def __len__(self) -> int:
+        return len(self._domains_by_host)

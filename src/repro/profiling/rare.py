@@ -15,10 +15,11 @@ and per-(host, domain) timestamp series for the timing detector.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable
+from collections.abc import Iterable, Set
 
 from ..logs.records import Connection
 from .history import DestinationHistory
+from .index import RareDomainsByHostView, RareDomHostView, TrafficIndex
 
 
 class DailyTraffic:
@@ -46,6 +47,7 @@ class DailyTraffic:
         self.rare_ua_hosts: dict[str, set[str]] = defaultdict(set)
         self.resolved_ips: dict[str, set[str]] = defaultdict(set)
         self._unsorted: set[tuple[str, str]] = set()
+        self._index: TrafficIndex | None = None
 
     def ingest(
         self,
@@ -60,6 +62,8 @@ class DailyTraffic:
         connection's UA; without it the UA features stay empty, which
         is the DNS-dataset situation.
         """
+        if self._index is not None:
+            connections = list(connections)
         for conn in connections:
             self.hosts_by_domain[conn.domain].add(conn.host)
             self.domains_by_host[conn.host].add(conn.domain)
@@ -72,6 +76,8 @@ class DailyTraffic:
             if ua_is_rare is not None and conn.user_agent is not None:
                 if ua_is_rare(conn.user_agent):
                     self.rare_ua_hosts[conn.domain].add(conn.host)
+        if self._index is not None:
+            self._index.observe(connections)
 
     def finalize(self) -> None:
         """Sort timestamp series touched since the last call.
@@ -96,6 +102,36 @@ class DailyTraffic:
         """Earliest timestamp any host reached ``domain`` today."""
         times = self.connection_times(host, domain)
         return times[0] if times else None
+
+    def index(self) -> TrafficIndex:
+        """The day's :class:`~repro.profiling.index.TrafficIndex`.
+
+        Built from the current aggregate on first call, then kept in
+        sync incrementally by :meth:`ingest`.  Code that mutates the
+        traffic dicts directly (checkpoint restore) must call
+        :meth:`drop_index` so the next access rebuilds.
+        """
+        if self._index is None:
+            self._index = TrafficIndex(self)
+        return self._index
+
+    def drop_index(self) -> None:
+        """Invalidate the attached index (after out-of-band mutation)."""
+        self._index = None
+
+    def bp_views(
+        self, rare: Set[str]
+    ) -> tuple[RareDomHostView, RareDomainsByHostView]:
+        """``(dom_host, host_rdom)`` for belief propagation, zero-copy.
+
+        Replaces the per-call ``{d: frozenset(...)}`` /
+        :func:`rare_domains_by_host` rebuilds: both views answer
+        lookups straight from the day's live dicts, restricted to
+        ``rare`` (no interned index required)."""
+        return (
+            RareDomHostView(self.hosts_by_domain, rare),
+            RareDomainsByHostView(self.domains_by_host, rare),
+        )
 
 
 def extract_rare_domains(

@@ -22,7 +22,12 @@ from pathlib import Path
 
 from .config import LANL_CONFIG, SystemConfig
 from .core.beliefprop import BeliefPropagationResult, belief_propagation
-from .core.scoring import AdditiveSimilarityScorer, multi_host_beacon_heuristic
+from .core.scoring import (
+    AdditiveSimilarityScorer,
+    IncrementalAdditiveScorer,
+    group_verdicts_by_domain,
+    multi_host_beacon_heuristic,
+)
 from .logs.dns import parse_dns_log
 from .logs.normalize import normalize_dns_records
 from .logs.reduction import ReductionFunnel
@@ -64,6 +69,7 @@ def detect_on_traffic(
     config: SystemConfig,
     hint_hosts: Sequence[str] = (),
     intel_domains: Set[str] = frozenset(),
+    use_index: bool = True,
 ) -> DayDetection:
     """The DNS-path daily detection stages on one day of traffic.
 
@@ -82,6 +88,13 @@ def detect_on_traffic(
     confirmed in one enterprise elevates the prior everywhere it
     appears, even where local evidence (e.g. a single beaconing host)
     would not fire the C&C heuristic on its own.
+
+    ``use_index`` routes belief propagation through the day's
+    :class:`~repro.profiling.index.TrafficIndex` and the incremental
+    frontier scorer; ``False`` keeps the legacy per-domain scoring
+    loops.  Both produce identical detections (the parity the
+    randomized tests and ``bench_bp_scale`` assert) -- the flag exists
+    for those comparisons.
     """
     series = [
         (key, times)
@@ -89,9 +102,10 @@ def detect_on_traffic(
         if key[1] in rare
     ]
     verdicts = automation.automated_pairs(series)
+    verdicts_by_domain = group_verdicts_by_domain(verdicts)
     cc = {
-        domain for domain in {v.domain for v in verdicts}
-        if multi_host_beacon_heuristic(domain, verdicts, traffic)
+        domain for domain, domain_verdicts in verdicts_by_domain.items()
+        if multi_host_beacon_heuristic(domain, domain_verdicts, traffic)
     }
     intel_seeded = set(intel_domains) & rare
 
@@ -108,17 +122,30 @@ def detect_on_traffic(
     bp_result = None
     detected: list[str] = []
     if seed_hosts:
+        if use_index:
+            dom_host, host_rdom = traffic.bp_views(rare)
+            incremental = IncrementalAdditiveScorer(
+                scorer, traffic, index=traffic.index()
+            )
+            scoring = {"score_frontier": incremental.score_frontier}
+        else:
+            dom_host = {
+                d: frozenset(traffic.hosts_by_domain.get(d, ()))
+                for d in rare
+            }
+            host_rdom = rare_domains_by_host(traffic, rare)
+            scoring = {
+                "similarity_score":
+                    lambda dom, mal: scorer.score(dom, mal, traffic),
+            }
         bp_result = belief_propagation(
             seed_hosts,
             seed_domains,
-            dom_host={
-                d: frozenset(traffic.hosts_by_domain.get(d, ()))
-                for d in rare
-            },
-            host_rdom=rare_domains_by_host(traffic, rare),
+            dom_host=dom_host,
+            host_rdom=host_rdom,
             detect_cc=lambda dom: dom in cc,
-            similarity_score=lambda dom, mal: scorer.score(dom, mal, traffic),
             config=config.belief_propagation,
+            **scoring,
         )
         detected = sorted(seed_domains) + bp_result.detected_domains
     return DayDetection(

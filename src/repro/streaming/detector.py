@@ -32,7 +32,12 @@ from pathlib import Path
 
 from ..config import LANL_CONFIG, SystemConfig
 from ..core.beliefprop import BeliefPropagationResult
-from ..core.scoring import AdditiveSimilarityScorer, multi_host_beacon_heuristic
+from ..core.scoring import (
+    AdditiveSimilarityScorer,
+    IncrementalAdditiveScorer,
+    group_verdicts_by_domain,
+    multi_host_beacon_heuristic,
+)
 from ..logs.dns import parse_dns_log
 from ..logs.records import DnsRecord
 from ..logs.reduction import ReductionFunnel
@@ -147,9 +152,10 @@ class StreamingDetector(StreamingEngineBase):
         """
         traffic = self.window.traffic
         verdicts = self._refresh_verdicts()
+        verdicts_by_domain = group_verdicts_by_domain(verdicts)
         cc = {
-            domain for domain in {v.domain for v in verdicts}
-            if multi_host_beacon_heuristic(domain, verdicts, traffic)
+            domain for domain, domain_verdicts in verdicts_by_domain.items()
+            if multi_host_beacon_heuristic(domain, domain_verdicts, traffic)
         }
         seed_hosts: set[str] = set(hint_hosts)
         seed_domains: set[str] = set()
@@ -182,14 +188,13 @@ class StreamingDetector(StreamingEngineBase):
                 mode="idle",
             )
 
+        incremental = IncrementalAdditiveScorer(self.scorer, traffic)
         result, mode = warm_start_belief_propagation(
             seed_hosts,
             seed_domains,
             graph=self.graph,
             detect_cc=lambda dom: dom in cc,
-            similarity_score=lambda dom, mal: self.scorer.score(
-                dom, mal, traffic
-            ),
+            score_frontier=incremental.score_frontier,
             config=self.config,
             prior=self.prior,
             warm=self.warm,

@@ -6,7 +6,9 @@ enterprise/proxy-path
 :class:`~repro.streaming.enterprise.StreamingEnterpriseDetector` --
 consume events the same way: publish onto a host-sharded
 :class:`~repro.streaming.events.EventBus`, drain into a
-:class:`~repro.streaming.window.WindowedAggregator`, mirror rarity
+:class:`~repro.streaming.window.WindowedAggregator` (whose armed
+:class:`~repro.profiling.index.TrafficIndex` absorbs each micro-batch,
+keeping frontier scoring rebuild-free), mirror rarity
 flips into an :class:`~repro.streaming.incremental.IncrementalGraph`,
 and re-test only the (host, domain) timestamp series that saw new
 events through a period-aware

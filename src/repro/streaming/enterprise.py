@@ -52,6 +52,7 @@ from ..core.pipeline import (
     _automated_hosts_by_domain,
     detect_on_enterprise_traffic,
 )
+from ..core.scoring import BatchedSimilarityScorer
 from ..logs.normalize import IpResolver, normalize_proxy_records
 from ..logs.proxy import parse_proxy_log
 from ..logs.records import ProxyRecord
@@ -214,14 +215,15 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
                     mode="idle",
                 )
 
+            batched = BatchedSimilarityScorer(
+                self.similarity_scorer, traffic, when
+            )
             result, mode = warm_start_belief_propagation(
                 seed_hosts,
                 set(cc),
                 graph=self.graph,
                 detect_cc=lambda dom: dom in cc,
-                similarity_score=lambda dom, mal: self.similarity_scorer.score(
-                    dom, mal, traffic, when
-                ),
+                score_frontier=batched.score_frontier,
                 config=self.config,
                 prior=self.prior,
                 warm=self.warm,

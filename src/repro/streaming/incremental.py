@@ -39,6 +39,7 @@ from ..config import SystemConfig
 from ..core.beliefprop import (
     BeliefPropagationResult,
     DetectCC,
+    ScoreFrontier,
     SimilarityScore,
     belief_propagation,
 )
@@ -121,7 +122,8 @@ def warm_start_belief_propagation(
     *,
     graph: IncrementalGraph,
     detect_cc: DetectCC,
-    similarity_score: SimilarityScore,
+    similarity_score: SimilarityScore | None = None,
+    score_frontier: ScoreFrontier | None = None,
     config: SystemConfig,
     prior: BeliefPropagationResult | None = None,
     warm: WarmStartConfig | None = None,
@@ -130,7 +132,11 @@ def warm_start_belief_propagation(
 
     Returns ``(result, mode)`` where ``mode`` is ``"warm"`` when the
     previous beliefs were reused and ``"full"`` for a cold recompute.
-    The graph's dirty set is consumed either way.
+    The graph's dirty set is consumed either way.  Similarity scoring
+    takes either form :func:`~repro.core.beliefprop.belief_propagation`
+    accepts: the batch ``score_frontier`` hook (one fresh stateful
+    scorer per call -- its incremental state follows this run's
+    malicious set) or the per-domain ``similarity_score`` adapter.
     """
     warm = warm or WarmStartConfig()
     use_warm = (
@@ -150,6 +156,7 @@ def warm_start_belief_propagation(
         host_rdom=graph.host_rdom,
         detect_cc=detect_cc,
         similarity_score=similarity_score,
+        score_frontier=score_frontier,
         config=config.belief_propagation,
         prior=prior if use_warm else None,
     )

@@ -44,6 +44,9 @@ class WindowedAggregator:
         self.history = history
         self.ua_history = ua_history
         self.traffic = DailyTraffic(day)
+        # Arm the scoring index now: every ingest from here on updates
+        # it incrementally, so scoring rounds never rebuild it.
+        self.traffic.index()
         self.tracker = RareDomainTracker(
             history, unpopular_max_hosts=unpopular_max_hosts
         )
@@ -111,6 +114,7 @@ class WindowedAggregator:
             self.ua_history.commit_day()
         self.day += 1
         self.traffic = DailyTraffic(self.day)
+        self.traffic.index()
         self.tracker.reset()
         self.dirty_pairs.clear()
         self.rare_changes.clear()
@@ -124,6 +128,10 @@ class WindowedAggregator:
     def resync(self) -> None:
         """Recompute derived state from the traffic indexes (restore path)."""
         self.traffic.finalize()
+        # Checkpoint restore fills the traffic dicts directly, behind
+        # the armed index's back -- rebuild it from the restored state.
+        self.traffic.drop_index()
+        self.traffic.index()
         self.tracker.resync(self.traffic)
         self.dirty_pairs = set(self.traffic.timestamps)
         self.rare_changes = set()
