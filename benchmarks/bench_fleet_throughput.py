@@ -3,13 +3,18 @@
 Not a paper figure -- this bench characterizes the multi-tenant fleet
 subsystem (`repro.fleet`).  It generates N correlated enterprises
 sharing one attacker campaign, writes the fleet layout to disk, then
-runs the identical workload three ways:
+runs the identical workload through every executor:
 
 * serial: ``--workers 1`` (the baseline every mode must match);
 * threads: ``--workers N`` on the thread executor;
 * processes: ``--workers N`` on the process executor (engine state
-  carried through per-tenant checkpoints -- real parallelism paid for
-  with serialization; skipped in smoke mode).
+  carried through full per-tenant checkpoints every round -- real
+  parallelism paid for with serialization; skipped in smoke mode);
+* resident: long-lived worker processes with engines resident in
+  memory across rounds and barrier delta-checkpoints (at 1/2/N
+  workers in the full run to show the scaling curve; one mode in
+  smoke).  Resident modes also record per-worker busy stats
+  (``workers_detail``) for the operations runbook.
 
 The parity assertion is the load-bearing part: per-tenant detections
 must be identical across all modes (day-barrier seeding makes results
@@ -18,7 +23,11 @@ the shared intel plane's cross-tenant cache hits and the streaming
 verdict-cache skip counters.
 
 ``FLEET_BENCH_SMOKE=1`` shrinks the world for CI; results go to
-``benchmarks/out/fleet_throughput.json``.
+``benchmarks/out/fleet_throughput.json``.  Full runs time each mode
+best-of-``REPEATS`` and record the host's ``cpu_count``: on a
+single-core host the process-based modes can only *match* serial
+(the win there is dropping the old per-round serialization tax), so
+the scaling curve is meaningful only alongside the core count.
 """
 
 from __future__ import annotations
@@ -33,41 +42,102 @@ from conftest import OUT_DIR, save_output
 
 from repro.eval import render_table
 from repro.fleet import FleetManager, load_manifest
-from repro.synthetic import write_fleet_layout
+from repro.synthetic import (
+    FleetScenarioConfig,
+    LanlConfig,
+    generate_fleet_dataset,
+    write_fleet_layout,
+)
 from repro.testing import make_multi_enterprise_dataset
 
 SMOKE = os.environ.get("FLEET_BENCH_SMOKE", "") not in ("", "0")
 N_TENANTS = 3 if SMOKE else 4
-DAYS = 3 if SMOKE else 4
+DAYS = 3 if SMOKE else 8
 WORKERS = N_TENANTS
+#: Best-of-N timing in the full run: the container this bench runs on
+#: shares its host, so single runs can lose 20%+ to stolen CPU; the
+#: minimum over repeats is the standard way to strip that noise.
+REPEATS = 1 if SMOKE else 5
+
+#: Dense per-tenant world for the full run.  The test-suite template
+#: (40 hosts) finishes a whole mode in well under a second, which is
+#: spawn-overhead territory; scaling measurements need each round to
+#: cost real compute so the executor difference dominates the noise.
+FULL_BENCH_TENANT = LanlConfig(
+    seed=42,  # replaced per tenant by the fleet generator
+    n_hosts=100,
+    bootstrap_days=2,
+    popular_domains=60,
+    churn_domains_per_day=12,
+    browsing_visits_per_host=10,
+)
 
 
-def _run_mode(manifest, *, workers: int, executor: str):
+def _bench_dataset():
+    """The fleet world under test: small in smoke, dense in full."""
+    if SMOKE:
+        return make_multi_enterprise_dataset(N_TENANTS)
+    return generate_fleet_dataset(FleetScenarioConfig(
+        seed=42,
+        n_tenants=N_TENANTS,
+        tenant=FULL_BENCH_TENANT,
+        lead_hosts=2,
+        follower_hosts=1,
+        vt_coverage=0.8,
+    ))
+
+
+def _run_once(manifest, *, workers: int, executor: str):
+    """One timed run of one executor configuration."""
     manager = FleetManager.from_manifest(
         manifest, workers=workers, executor=executor
     )
     start = time.perf_counter()
     report = manager.run()
     elapsed = time.perf_counter() - start
-    return report, elapsed
+    return report, elapsed, manager
+
+
+def _time_modes(manifest, modes):
+    """Best-of-``REPEATS`` per mode, repeats *interleaved* across modes.
+
+    Detections are deterministic, so every repeat produces the same
+    report and the minimum elapsed is the mode's real cost.  The
+    interleaving matters on a shared host: noise arrives in time-slabs,
+    and timing one mode's repeats back-to-back would let a single mode
+    monopolize a quiet slab; round-robin order exposes every mode to
+    the same conditions.
+    """
+    best: dict[str, tuple] = {}
+    for _ in range(REPEATS):
+        for name, workers, executor in modes:
+            run = _run_once(manifest, workers=workers, executor=executor)
+            if name not in best or run[1] < best[name][1]:
+                best[name] = run
+    return best
 
 
 def test_fleet_throughput():
-    fleet = make_multi_enterprise_dataset(N_TENANTS)
+    fleet = _bench_dataset()
     with tempfile.TemporaryDirectory() as tmp:
         manifest = load_manifest(
             write_fleet_layout(fleet, Path(tmp), days=DAYS)
         )
         modes = [("serial", 1, "thread"), ("threads", WORKERS, "thread")]
-        if not SMOKE:
+        if SMOKE:
+            modes.append(("resident", WORKERS, "resident"))
+        else:
             modes.append(("processes", WORKERS, "process"))
+            modes.extend(
+                (f"resident-{workers}", workers, "resident")
+                for workers in (1, 2, WORKERS)
+            )
 
+        timed = _time_modes(manifest, modes)
         rows, results = [], []
         baseline = None
         for name, workers, executor in modes:
-            report, elapsed = _run_mode(
-                manifest, workers=workers, executor=executor
-            )
+            report, elapsed, manager = timed[name]
             detections = {
                 tenant: sorted(domains)
                 for tenant, domains in report.detected_by_tenant().items()
@@ -89,7 +159,7 @@ def test_fleet_throughput():
                 vt.cross_tenant_hits,
                 report.seeded_detections(),
             ))
-            results.append({
+            result = {
                 "mode": name,
                 "workers": workers,
                 "executor": executor,
@@ -97,16 +167,28 @@ def test_fleet_throughput():
                 "tenant_days": tenant_days,
                 "records": records,
                 "elapsed_sec": elapsed,
+                "repeats": REPEATS,
                 "tenant_days_per_sec": tenant_days / elapsed,
                 "records_per_sec": records / elapsed,
                 "vt_cache": vt.as_dict(),
                 "seeded_detections": report.seeded_detections(),
                 "detect_parity": detections == baseline,
-            })
+            }
+            if manager.worker_stats:
+                result["workers_detail"] = {
+                    str(worker_id): stats
+                    for worker_id, stats in sorted(
+                        manager.worker_stats.items()
+                    )
+                }
+            results.append(result)
 
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "fleet_throughput.json").write_text(
-        json.dumps({"smoke": SMOKE, "modes": results}, indent=1) + "\n"
+        json.dumps(
+            {"smoke": SMOKE, "cpu_count": os.cpu_count(), "modes": results},
+            indent=1,
+        ) + "\n"
     )
     save_output(
         "fleet_throughput",

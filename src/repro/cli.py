@@ -214,10 +214,26 @@ def _add_fleet_parser(subparsers) -> None:
         help="tenants advanced concurrently per round (default 1)",
     )
     parser.add_argument(
-        "--executor", choices=("thread", "process"), default="thread",
+        "--executor", choices=("thread", "process", "resident"),
+        default="thread",
         help="'thread' keeps engines in memory; 'process' runs real "
              "parallel workers with engine state carried through the "
-             "per-tenant checkpoints (requires/creates --checkpoint-dir)",
+             "per-tenant checkpoints; 'resident' runs long-lived worker "
+             "processes whose engines stay in memory across rounds with "
+             "delta checkpoints at the barriers (see the operations "
+             "runbook for sizing guidance)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=5.0,
+        help="resident executor: seconds between worker liveness polls "
+             "while awaiting a response (default 5.0); a worker that "
+             "dies is respawned from its last checkpoint",
+    )
+    parser.add_argument(
+        "--window-shards", type=int, default=1,
+        help="resident executor: aggregate each DNS tenant's day through "
+             "N host-hash window shards merged at the barrier "
+             "(default 1 = serial ingest; detections are identical)",
     )
     parser.add_argument(
         "--checkpoint-dir", type=Path, default=None,
@@ -582,6 +598,8 @@ def _run_fleet(args) -> int:
             executor=args.executor,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
+            heartbeat=args.heartbeat,
+            window_shards=args.window_shards,
         )
         report = manager.run(max_rounds=args.max_rounds)
     except (ManifestError, FleetError, StateError, OSError) as exc:

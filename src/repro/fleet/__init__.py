@@ -12,9 +12,14 @@ shared intelligence plane:
   cross-tenant prior board (a domain confirmed malicious in one tenant
   becomes an elevated belief-propagation prior everywhere else);
 * :mod:`~repro.fleet.manager` -- :class:`FleetManager`: day-barrier
-  rounds over all tenants with a thread or process executor, per-tenant
-  checkpoints on the :mod:`repro.state` atomic-write machinery, and
-  crash/resume;
+  rounds over all tenants with a thread, process or resident executor,
+  per-tenant checkpoints on the :mod:`repro.state` atomic-write
+  machinery, and crash/resume;
+* :mod:`~repro.fleet.workers` -- the resident executor's long-lived
+  worker processes (:class:`ResidentPool`): engines stay in worker
+  memory across rounds; prior-board deltas, day reports and barrier
+  delta-checkpoints are all that cross the process boundary, and a
+  crashed worker's tenants respawn from their checkpoint chains;
 * :mod:`~repro.fleet.report` -- :class:`FleetReport`: per-tenant
   detections, cross-tenant domain overlap, VT classification.
 
@@ -29,13 +34,21 @@ therefore identical for any worker count -- parallelism changes
 wall-clock, not detections.
 """
 
-from .intel import BoardEntry, CacheStats, IntelPlane, TenantWhoisView
+from .intel import (
+    BoardEntry,
+    BoardReplica,
+    CacheStats,
+    IntelPlane,
+    TenantWhoisView,
+)
 from .manager import FleetError, FleetManager
 from .manifest import FleetManifest, ManifestError, TenantSpec, load_manifest
 from .report import FleetReport, TenantDayReport
+from .workers import ResidentPool, WorkerDied
 
 __all__ = [
     "BoardEntry",
+    "BoardReplica",
     "CacheStats",
     "FleetError",
     "FleetManager",
@@ -43,8 +56,10 @@ __all__ = [
     "FleetReport",
     "IntelPlane",
     "ManifestError",
+    "ResidentPool",
     "TenantDayReport",
     "TenantSpec",
     "TenantWhoisView",
+    "WorkerDied",
     "load_manifest",
 ]

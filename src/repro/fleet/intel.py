@@ -56,6 +56,14 @@ class CacheStats:
             "cross_tenant_hits": self.cross_tenant_hits,
         }
 
+    def absorb(self, counts: dict[str, int]) -> None:
+        """Fold another accounting delta (an :meth:`as_dict` document)
+        into this one -- how resident workers' cache-fill counters
+        reach the manager's plane at each barrier."""
+        self.hits += int(counts.get("hits", 0))
+        self.misses += int(counts.get("misses", 0))
+        self.cross_tenant_hits += int(counts.get("cross_tenant_hits", 0))
+
 
 class _TenantCache:
     """Memo cache whose entries remember the inserting tenant."""
@@ -114,6 +122,58 @@ class BoardEntry:
     first_day: int
     """Earliest fleet day (round index) the domain was detected on."""
 
+    revision: int = field(default=0, compare=False)
+    """Plane-wide revision at which this entry last changed; lets
+    :meth:`IntelPlane.board_delta` ship only what a worker has not
+    seen yet.  Bookkeeping, not identity -- excluded from equality."""
+
+    def wire(self) -> dict[str, Any]:
+        """The entry as plain JSON-able data (the ``INJECT_INTEL``
+        payload element a :class:`BoardReplica` consumes)."""
+        return {
+            "domain": self.domain,
+            "score": self.score,
+            "tenants": sorted(self.tenants),
+            "first_day": self.first_day,
+        }
+
+
+class BoardReplica:
+    """Worker-side mirror of the cross-tenant prior board.
+
+    Resident fleet workers cannot reach the manager's plane between
+    barriers, so the manager streams :meth:`IntelPlane.board_delta`
+    entries to each worker (the ``INJECT_INTEL`` command) and the
+    replica answers :meth:`seeds_for` locally with exactly the plane's
+    semantics -- a tenant is never seeded with only its own findings.
+    Entry application is last-writer-wins on whole entries, which is
+    safe because the plane's merged entry is the only thing ever sent.
+    """
+
+    def __init__(self) -> None:
+        self._tenants_by_domain: dict[str, frozenset[str]] = {}
+        self.seeds_served = 0
+
+    def __len__(self) -> int:
+        return len(self._tenants_by_domain)
+
+    def apply(self, entries: Iterable[dict[str, Any]]) -> None:
+        """Fold a batch of :meth:`BoardEntry.wire` documents in."""
+        for entry in entries:
+            self._tenants_by_domain[str(entry["domain"])] = frozenset(
+                entry["tenants"]
+            )
+
+    def seeds_for(self, tenant_id: str) -> frozenset[str]:
+        """Replicated :meth:`IntelPlane.seeds_for` (same exclusion)."""
+        seeds = frozenset(
+            domain
+            for domain, tenants in self._tenants_by_domain.items()
+            if tenants != frozenset({tenant_id})
+        )
+        self.seeds_served += len(seeds)
+        return seeds
+
 
 class IntelPlane:
     """Shared VT/WHOIS caches plus the cross-tenant prior board."""
@@ -132,6 +192,7 @@ class IntelPlane:
         self.whois_cache = _TenantCache()
         self.seeds_served = 0
         self._board: dict[str, BoardEntry] = {}
+        self._revision = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -179,6 +240,7 @@ class IntelPlane:
             for domain, score in scored_domains:
                 if score < self.prior_threshold:
                     continue
+                self._revision += 1
                 entry = self._board.get(domain)
                 if entry is None:
                     self._board[domain] = BoardEntry(
@@ -186,6 +248,7 @@ class IntelPlane:
                         score=score,
                         tenants=frozenset({tenant_id}),
                         first_day=day,
+                        revision=self._revision,
                     )
                 else:
                     self._board[domain] = BoardEntry(
@@ -193,9 +256,28 @@ class IntelPlane:
                         score=max(entry.score, score),
                         tenants=entry.tenants | {tenant_id},
                         first_day=min(entry.first_day, day),
+                        revision=self._revision,
                     )
                 added += 1
         return added
+
+    def board_delta(
+        self, since: int
+    ) -> tuple[int, list[dict[str, Any]]]:
+        """Board entries changed after revision ``since``, as wire
+        documents, plus the current revision.
+
+        The manager tracks each resident worker's synced revision and
+        ships only this delta per round (``since=0`` is a full sync --
+        what a freshly spawned or respawned worker gets).
+        """
+        with self._lock:
+            entries = [
+                entry.wire()
+                for entry in self._board.values()
+                if entry.revision > since
+            ]
+            return self._revision, entries
 
     def seeds_for(self, tenant_id: str) -> frozenset[str]:
         """Domains other tenants confirmed -- this tenant's elevated
@@ -250,15 +332,19 @@ class IntelPlane:
         """Refill the board and accounting from :meth:`encode` output."""
         with self._lock:
             self.prior_threshold = float(payload["prior_threshold"])
-            self._board = {
-                str(domain): BoardEntry(
+            # Restored entries get fresh revisions so every worker's
+            # next delta sync (since=0 after a restart) resends them.
+            self._board = {}
+            self._revision = 0
+            for domain, entry in payload["board"].items():
+                self._revision += 1
+                self._board[str(domain)] = BoardEntry(
                     domain=str(domain),
                     score=float(entry["score"]),
                     tenants=frozenset(entry["tenants"]),
                     first_day=int(entry["first_day"]),
+                    revision=self._revision,
                 )
-                for domain, entry in payload["board"].items()
-            }
             self.vt_cache._entries = {
                 str(domain): (value, str(owner))
                 for domain, (value, owner) in payload["vt_entries"].items()

@@ -18,7 +18,7 @@ the tests enforce).  Because seeding happens at the traffic level
 pipeline types: a DNS tenant's confirmation seeds an enterprise
 tenant's proxy-path run and vice versa.
 
-Two executors:
+Three executors:
 
 ``thread``
     engines stay in memory; tenants of one round run on a
@@ -28,184 +28,98 @@ Two executors:
     state travels through the per-tenant checkpoint files (the worker
     loads the checkpoint, advances one day, writes it back), so a
     checkpoint directory is required -- real parallelism, paid for
-    with serialization.
+    with per-round full-state serialization.
+``resident``
+    N long-lived worker processes (:mod:`repro.fleet.workers`), each
+    owning a stable subset of tenants whose engines stay in worker
+    memory across rounds.  The manager drives them over per-worker
+    command queues (``INJECT_INTEL`` / ``ADVANCE_DAY`` /
+    ``CHECKPOINT`` / ``SHUTDOWN``); only prior-board deltas, day
+    reports and barrier-delta checkpoints cross the process boundary,
+    so real parallelism no longer pays the full-serialization tax.  A
+    dead worker's tenants respawn from their last committed checkpoint
+    chain without disturbing the other workers.
 
-Per-tenant checkpoints live at ``<dir>/<tenant>/checkpoint.json`` and
-wrap the engine snapshot *and* the day's report in one atomic document
-(:func:`repro.state.save_json_atomic`), so a crash between a tenant
-finishing its day and the round barrier loses nothing: on resume the
-embedded report is re-published at the proper barrier.  The fleet-level
-document ``<dir>/fleet.json`` (intel board + completed-round cursor)
-is written at each barrier.
+Per-tenant checkpoints live at ``<dir>/<tenant>/checkpoint.json`` --
+a full engine snapshot plus the day's report in one atomic document
+(:func:`repro.state.save_json_atomic`) -- optionally extended by a
+``deltas.jsonl`` chain of per-round barrier deltas (resident mode), so
+a crash between a tenant finishing its day and the round barrier loses
+nothing: on resume the embedded report is re-published at the proper
+barrier.  The fleet-level document ``<dir>/fleet.json`` (intel board +
+completed-round cursor) is written at each barrier.
 """
 
 from __future__ import annotations
 
 import tempfile
-import time
 from concurrent.futures import (
     Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from collections.abc import Sequence, Set
+from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
 from ..config import SystemConfig
-from ..intel.whois_db import WhoisDatabase, load_whois_file
-from ..logs.dns import parse_dns_log
-from ..logs.proxy import parse_proxy_log
 from ..state import (
     decode_config,
     encode_config,
-    encode_engine,
     load_detector,
     load_json,
-    restore_engine,
     save_json_atomic,
 )
-from ..streaming import (
-    StreamDayReport,
-    StreamingDetector,
-    StreamingEnterpriseDetector,
-)
+from ..streaming import StreamingDetector, StreamingEnterpriseDetector
 from .intel import IntelPlane, TenantWhoisView
 from .manifest import FleetManifest, TenantSpec
 from .report import FleetReport, TenantDayReport
+from .workers import (
+    CMD_ADVANCE_DAY,
+    CMD_CHECKPOINT,
+    CMD_INJECT_INTEL,
+    FleetError,
+    ResidentPool,
+    WorkerDied,
+    WorkerHandle,
+    _advance_one_day,
+    _save_tenant_checkpoint,
+    _tenant_checkpoint_path,
+    _tenant_delta_path,
+    load_tenant_chain,
+    load_whois_cached,
+    restore_tenant_chain,
+)
+
+__all__ = ["FleetError", "FleetManager", "SECONDS_PER_DAY"]
 
 SECONDS_PER_DAY = 86_400.0
 
 FLEET_STATE_VERSION = 1
 
 
-class FleetError(RuntimeError):
-    """Raised on fleet configuration or checkpoint problems."""
-
-
-# ---------------------------------------------------------------------------
-# One tenant, one day (shared by both executors)
-# ---------------------------------------------------------------------------
-
-def _advance_one_day(
-    detector,
-    spec_id: str,
-    path: Path,
-    *,
-    bootstrap: bool,
-    seeds: Set[str],
-    pipeline: str = "dns",
-) -> TenantDayReport | None:
-    """Feed one log file through a tenant's engine; close the day.
-
-    This is every fleet round's inner loop, so its cost rides on the
-    scoring hot path: the engine's window maintains the day's
-    :class:`~repro.profiling.index.TrafficIndex` incrementally during
-    ingest, and the rollover's belief propagation scores its frontier
-    through the index-backed incremental scorers.  The wall-clock cost
-    of the day is reported per tenant for throughput tracking.
-    """
-    started = time.perf_counter()
-    with path.open() as handle:
-        if pipeline == "enterprise":
-            detector.submit_raw(parse_proxy_log(handle))
-        else:
-            detector.submit_raw(parse_dns_log(handle))
-    detector.poll()
-    report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
-    if bootstrap:
-        return None
-    return TenantDayReport(
-        tenant_id=spec_id,
-        day=report.day,
-        source=path.name,
-        records=report.records,
-        rare_count=len(report.rare_domains),
-        cc_domains=set(report.cc_domains),
-        detected=list(report.detected),
-        intel_seeded=set(report.intel_seeded),
-        scores=_scored_detections(report),
-        elapsed_seconds=time.perf_counter() - started,
-    )
-
-
-def _scored_detections(report: StreamDayReport) -> dict[str, float]:
-    """Publication scores: seed/C&C labels count as confirmed (1.0),
-    similarity labels keep their labeling score."""
-    scores: dict[str, float] = {}
-    if report.bp_result is not None:
-        for detection in report.bp_result.detections:
-            if detection.reason in ("seed", "cc"):
-                scores[detection.domain] = 1.0
-            else:
-                scores[detection.domain] = detection.score
-    for domain in report.detected:
-        scores.setdefault(domain, 1.0)
-    return scores
-
-
-def _tenant_checkpoint_path(checkpoint_dir: Path, tenant_id: str) -> Path:
-    return checkpoint_dir / tenant_id / "checkpoint.json"
-
-
-def _save_tenant_checkpoint(
-    detector,
-    path: Path,
-    report: TenantDayReport | None,
-    rounds_done: int,
-) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    save_json_atomic(
-        {
-            "version": FLEET_STATE_VERSION,
-            "kind": "fleet-tenant",
-            "round": rounds_done,
-            "engine": encode_engine(detector),
-            "report": report.as_dict() if report is not None else None,
-        },
-        path,
-    )
-
-
-def _load_tenant_checkpoint(path: Path) -> dict[str, Any]:
-    """Read a tenant checkpoint wrapper, validating its schema."""
-    wrapper = load_json(path)
-    if wrapper.get("kind") != "fleet-tenant" or "engine" not in wrapper:
-        raise FleetError(
-            f"{path} is not a fleet tenant checkpoint "
-            f"(kind={wrapper.get('kind')!r})"
-        )
-    return wrapper
-
-
-def _checkpoint_rounds(wrapper: dict[str, Any]) -> int:
-    """Rounds a tenant has completed, per its checkpoint.
-
-    Older (pre-enterprise) checkpoints lack the explicit counter; for
-    those the DNS engine's day index equals the file count consumed.
-    """
-    if "round" in wrapper:
-        return int(wrapper["round"])
-    return int(wrapper["engine"]["window"]["day"])
-
-
 def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
-    """Advance one tenant one day inside a worker process.
+    """Advance one tenant one day inside a pool worker process.
 
-    Engine state rides in the tenant checkpoint: load (or create), feed
-    the day's file, write the checkpoint back with the embedded report.
-    Everything crossing the process boundary is plain JSON-able data;
-    external registries (the WHOIS file, the trained model) are
-    re-loaded from their paths.
+    Engine state rides in the tenant checkpoint chain: load (or
+    create), feed the day's file, write a full checkpoint back with
+    the embedded report.  Everything crossing the process boundary is
+    plain JSON-able data; external registries are re-loaded from their
+    paths -- the WHOIS file only once per worker *process*
+    (:func:`~repro.fleet.workers.load_whois_cached`), since pool
+    workers persist across round submissions.
     """
     checkpoint_path = Path(payload["checkpoint_path"])
-    whois: WhoisDatabase | None = None
-    if payload.get("whois_path"):
-        whois = load_whois_file(payload["whois_path"])
+    whois = (
+        load_whois_cached(payload["whois_path"])
+        if payload.get("whois_path") else None
+    )
     if checkpoint_path.exists():
-        wrapper = _load_tenant_checkpoint(checkpoint_path)
-        detector = restore_engine(wrapper["engine"], whois=whois)
-        rounds_done = _checkpoint_rounds(wrapper)
+        chain = load_tenant_chain(
+            checkpoint_path.parent.parent, payload["tenant_id"]
+        )
+        detector = restore_tenant_chain(chain, whois=whois)
+        rounds_done = chain.rounds
     elif payload["pipeline"] == "enterprise":
         detector = StreamingEnterpriseDetector(
             load_detector(payload["model_state"], whois=whois)
@@ -229,8 +143,11 @@ def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
         seeds=frozenset(payload["seeds"]),
         pipeline=payload["pipeline"],
     )
-    _save_tenant_checkpoint(detector, checkpoint_path, report, rounds_done + 1)
-    return report.as_dict() if report is not None else None
+    report_dict = report.as_dict() if report is not None else None
+    _save_tenant_checkpoint(
+        detector, checkpoint_path, report_dict, rounds_done + 1
+    )
+    return report_dict
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +168,9 @@ class FleetManager:
         checkpoint_dir: str | Path | None = None,
         resume: bool = False,
         whois_path: str | Path | None = None,
+        heartbeat: float = 5.0,
+        full_checkpoint_every: int = 16,
+        window_shards: int = 1,
     ) -> None:
         if not specs:
             raise FleetError("fleet needs at least one tenant")
@@ -261,17 +181,27 @@ class FleetManager:
             seen.add(spec.tenant_id)
         if workers < 1:
             raise FleetError("workers must be positive")
-        if executor not in ("thread", "process"):
+        if executor not in ("thread", "process", "resident"):
             raise FleetError(
-                f"unknown executor {executor!r} (use 'thread' or 'process')"
+                f"unknown executor {executor!r} "
+                "(use 'thread', 'process' or 'resident')"
             )
         if resume and checkpoint_dir is None:
             raise FleetError("resume requires a checkpoint directory")
+        if heartbeat <= 0:
+            raise FleetError("heartbeat must be positive")
+        if full_checkpoint_every < 1:
+            raise FleetError("full_checkpoint_every must be positive")
+        if window_shards < 1:
+            raise FleetError("window_shards must be positive")
         self._transport_dir: tempfile.TemporaryDirectory | None = None
         if executor == "process" and checkpoint_dir is None:
             # Engine state travels through checkpoints in process mode;
             # without an operator-chosen directory the checkpoints are
-            # pure transport, removed when run() returns.
+            # pure transport, removed when run() returns.  (Resident
+            # workers keep engines in memory, so without a directory
+            # they simply run durability-free -- faster, but a worker
+            # crash is then fatal instead of recoverable.)
             self._transport_dir = tempfile.TemporaryDirectory(
                 prefix="fleet-ckpt-"
             )
@@ -286,7 +216,17 @@ class FleetManager:
         )
         self.resume = resume
         self.whois_path = Path(whois_path) if whois_path is not None else None
+        self.heartbeat = heartbeat
+        self.full_checkpoint_every = full_checkpoint_every
+        self.window_shards = window_shards
         self.engines: dict[str, Any] = {}
+        #: per-worker execution stats of the last resident run
+        #: (worker id -> tenants, tenant-days, records, busy seconds,
+        #: respawns) -- surfaced in the fleet bench JSON.
+        self.worker_stats: dict[int, dict[str, Any]] = {}
+        #: the live :class:`ResidentPool` during a resident run
+        #: (test/ops hook: worker handles expose pids).
+        self.resident_pool: ResidentPool | None = None
 
     @classmethod
     def from_manifest(cls, manifest: FleetManifest, **kwargs) -> "FleetManager":
@@ -385,14 +325,13 @@ class FleetManager:
                 raise FleetError(
                     f"no checkpoint for tenant {spec.tenant_id!r}: {ckpt}"
                 )
-            wrapper = _load_tenant_checkpoint(ckpt)
-            cursors[spec.tenant_id] = _checkpoint_rounds(wrapper)
+            chain = load_tenant_chain(self.checkpoint_dir, spec.tenant_id)
+            cursors[spec.tenant_id] = chain.rounds
             if self.executor == "thread":
-                self.engines[spec.tenant_id] = restore_engine(
-                    wrapper["engine"],
-                    whois=self._tenant_whois(spec.tenant_id),
+                self.engines[spec.tenant_id] = restore_tenant_chain(
+                    chain, whois=self._tenant_whois(spec.tenant_id)
                 )
-            if cursors[spec.tenant_id] > rounds and wrapper["report"]:
+            if chain.rounds > rounds and chain.report:
                 # The tenant finished a round the fleet never committed
                 # (crash between task and barrier): re-publish its
                 # report at the proper barrier.  Keyed by the round the
@@ -400,8 +339,8 @@ class FleetManager:
                 # enterprise engines count days from their trained
                 # bootstrap, so day and round differ there.
                 carried.append((
-                    cursors[spec.tenant_id] - 1,
-                    TenantDayReport.from_dict(wrapper["report"]),
+                    chain.rounds - 1,
+                    TenantDayReport.from_dict(chain.report),
                 ))
         return rounds, cursors, carried
 
@@ -415,11 +354,13 @@ class FleetManager:
             if self.executor == "thread":
                 self.engines[spec.tenant_id] = self._build_engine(spec)
             if self.checkpoint_dir is not None:
-                # A stale checkpoint would shadow the fresh run.
-                ckpt = _tenant_checkpoint_path(
+                # A stale checkpoint chain would shadow the fresh run.
+                _tenant_checkpoint_path(
                     self.checkpoint_dir, spec.tenant_id
-                )
-                ckpt.unlink(missing_ok=True)
+                ).unlink(missing_ok=True)
+                _tenant_delta_path(
+                    self.checkpoint_dir, spec.tenant_id
+                ).unlink(missing_ok=True)
         return cursors
 
     # ------------------------------------------------------------------
@@ -476,7 +417,7 @@ class FleetManager:
                     _tenant_checkpoint_path(
                         self.checkpoint_dir, spec.tenant_id
                     ),
-                    report,
+                    report.as_dict() if report is not None else None,
                     rnd + 1,
                 )
             return report
@@ -514,6 +455,13 @@ class FleetManager:
         total_rounds = max(len(f) for f in files.values())
 
         report = FleetReport(intel=self.intel)
+        if self.executor == "resident":
+            self._run_resident(
+                report, files, cursors, carried, start_round, total_rounds,
+                max_rounds=max_rounds, on_round=on_round,
+            )
+            return report
+
         rounds_executed = 0
         pool_cls = (
             ProcessPoolExecutor if self.executor == "process"
@@ -558,36 +506,277 @@ class FleetManager:
                 round_reports.extend(
                     rep for c_rnd, rep in carried if c_rnd == rnd
                 )
-
-                for day_report in round_reports:
-                    self.intel.publish(
-                        day_report.tenant_id,
-                        day_report.day,
-                        day_report.scores.items(),
-                    )
-                    for domain in day_report.detected:
-                        report.vt_labels[domain] = self.intel.vt_reported(
-                            day_report.tenant_id, domain
-                        )
-                        if (
-                            self.intel.whois is not None
-                            and domain not in report.whois_facts
-                        ):
-                            record = self.intel.whois_lookup(
-                                day_report.tenant_id, domain
-                            )
-                            when = (day_report.day + 1) * SECONDS_PER_DAY
-                            report.whois_facts[domain] = (
-                                (record.age_days(when),
-                                 record.validity_days(when))
-                                if record is not None else None
-                            )
-                report.days.extend(
-                    sorted(round_reports, key=lambda r: r.tenant_id)
-                )
+                self._commit_round(report, rnd, round_reports, on_round)
                 rounds_executed += 1
-                report.rounds = rnd + 1
-                self._save_fleet_state(rnd + 1)
-                if on_round is not None:
-                    on_round(round_reports)
         return report
+
+    # ------------------------------------------------------------------
+    # Round commitment (shared by every executor)
+    # ------------------------------------------------------------------
+
+    def _commit_round(
+        self,
+        report: FleetReport,
+        rnd: int,
+        round_reports: list[TenantDayReport],
+        on_round,
+    ) -> None:
+        """Publish a finished round at the barrier and persist state."""
+        for day_report in round_reports:
+            self.intel.publish(
+                day_report.tenant_id,
+                day_report.day,
+                day_report.scores.items(),
+            )
+            for domain in day_report.detected:
+                report.vt_labels[domain] = self.intel.vt_reported(
+                    day_report.tenant_id, domain
+                )
+                if (
+                    self.intel.whois is not None
+                    and domain not in report.whois_facts
+                ):
+                    record = self.intel.whois_lookup(
+                        day_report.tenant_id, domain
+                    )
+                    when = (day_report.day + 1) * SECONDS_PER_DAY
+                    report.whois_facts[domain] = (
+                        (record.age_days(when),
+                         record.validity_days(when))
+                        if record is not None else None
+                    )
+        report.days.extend(
+            sorted(round_reports, key=lambda r: r.tenant_id)
+        )
+        report.rounds = rnd + 1
+        self._save_fleet_state(rnd + 1)
+        if on_round is not None:
+            on_round(round_reports)
+
+    # ------------------------------------------------------------------
+    # Resident executor
+    # ------------------------------------------------------------------
+
+    def _run_resident(
+        self,
+        report: FleetReport,
+        files: dict[str, list[Path]],
+        cursors: dict[str, int],
+        carried: list[tuple[int, TenantDayReport]],
+        start_round: int,
+        total_rounds: int,
+        *,
+        max_rounds,
+        on_round,
+    ) -> None:
+        """Drive the rounds over long-lived resident workers.
+
+        Per round: sync each worker's prior-board replica with the
+        board delta since its last sync, send the round's
+        ``ADVANCE_DAY`` tasks, collect responses (respawning any dead
+        worker from its checkpoints), then hold the checkpoint barrier
+        before publishing -- so the fleet-state commit never runs ahead
+        of the tenants' durable state.  Without a checkpoint directory
+        the barrier (and crash recovery) is skipped entirely --
+        durability-free parallelism for ephemeral runs.
+        """
+        self.worker_stats = {}
+        pool = ResidentPool(
+            self.specs,
+            workers=self.workers,
+            checkpoint_dir=self.checkpoint_dir,
+            whois_path=self.whois_path,
+            config=self.config,
+            resume=self.resume,
+            heartbeat=self.heartbeat,
+            full_every=self.full_checkpoint_every,
+            window_shards=self.window_shards,
+        )
+        self.resident_pool = pool
+        try:
+            rounds_executed = 0
+            for rnd in range(start_round, total_rounds):
+                if max_rounds is not None and rounds_executed >= max_rounds:
+                    report.interrupted = True
+                    break
+                results: dict[str, TenantDayReport] = {}
+                waiting: list[WorkerHandle] = []
+                for handle in list(pool.workers):
+                    self._sync_board(pool, handle)
+                    tasks = self._resident_tasks(pool, handle, files,
+                                                 cursors, rnd)
+                    if tasks:
+                        pool.send(handle, {
+                            "cmd": CMD_ADVANCE_DAY,
+                            "round": rnd,
+                            "tasks": tasks,
+                        })
+                        waiting.append(handle)
+                advanced: list[WorkerHandle] = []
+                for handle in waiting:
+                    try:
+                        response = pool.recv(handle)
+                    except WorkerDied:
+                        handle, response = self._recover_worker(
+                            pool, handle, files, cursors, rnd, results
+                        )
+                    self._absorb_advance(handle, response, cursors,
+                                         results, rnd)
+                    advanced.append(handle)
+
+                if self.checkpoint_dir is not None:
+                    # Checkpoint barrier: every advanced worker commits
+                    # its tenants' chains before the fleet state moves
+                    # on.
+                    for handle in advanced:
+                        pool.send(handle, {
+                            "cmd": CMD_CHECKPOINT, "round": rnd + 1,
+                        })
+                    for handle in advanced:
+                        try:
+                            pool.recv(handle)
+                        except WorkerDied:
+                            self._recover_worker(
+                                pool, handle, files, cursors, rnd, results
+                            )
+
+                round_reports = [
+                    results[spec.tenant_id]
+                    for spec in self.specs
+                    if spec.tenant_id in results
+                ]
+                round_reports.extend(
+                    rep for c_rnd, rep in carried if c_rnd == rnd
+                )
+                self._commit_round(report, rnd, round_reports, on_round)
+                rounds_executed += 1
+        finally:
+            pool.shutdown()
+
+    def _sync_board(self, pool: ResidentPool, handle: WorkerHandle) -> None:
+        """Ship the prior-board delta since the worker's last sync."""
+        revision, entries = self.intel.board_delta(handle.synced_revision)
+        if entries:
+            pool.send(handle, {"cmd": CMD_INJECT_INTEL, "entries": entries})
+        handle.synced_revision = revision
+
+    def _resident_tasks(
+        self,
+        pool: ResidentPool,
+        handle: WorkerHandle,
+        files: dict[str, list[Path]],
+        cursors: dict[str, int],
+        rnd: int,
+    ) -> list[dict[str, Any]]:
+        """The round's ``ADVANCE_DAY`` task list for one worker."""
+        tasks: list[dict[str, Any]] = []
+        for spec in pool.specs_of(handle):
+            tenant_files = files[spec.tenant_id]
+            if rnd >= len(tenant_files):
+                continue
+            if cursors[spec.tenant_id] > rnd:
+                continue  # recovered past this round already
+            tasks.append({
+                "tenant_id": spec.tenant_id,
+                "log_path": str(tenant_files[rnd]),
+                "bootstrap": rnd < spec.bootstrap_files,
+            })
+        return tasks
+
+    def _absorb_advance(
+        self,
+        handle: WorkerHandle,
+        response: dict[str, Any] | None,
+        cursors: dict[str, int],
+        results: dict[str, TenantDayReport],
+        rnd: int,
+    ) -> None:
+        """Fold one worker's ``ADVANCE_DAY`` response into round state."""
+        if response is None:
+            return
+        stats = self.worker_stats.setdefault(handle.worker_id, {
+            "tenants": sorted(handle.tenant_ids),
+            "tenant_days": 0,
+            "records": 0,
+            "elapsed_seconds": 0.0,
+            "respawns": 0,
+        })
+        for item in response["reports"]:
+            cursors[item["tenant_id"]] = rnd + 1
+            if item["report"] is not None:
+                day_report = TenantDayReport.from_dict(item["report"])
+                results[item["tenant_id"]] = day_report
+                stats["tenant_days"] += 1
+                stats["records"] += day_report.records
+                stats["elapsed_seconds"] += day_report.elapsed_seconds
+        if response.get("whois_stats"):
+            self.intel.whois_cache.stats.absorb(response["whois_stats"])
+        self.intel.seeds_served += int(response.get("seeds_served", 0))
+
+    def _recover_worker(
+        self,
+        pool: ResidentPool,
+        handle: WorkerHandle,
+        files: dict[str, list[Path]],
+        cursors: dict[str, int],
+        rnd: int,
+        results: dict[str, TenantDayReport],
+    ) -> tuple[WorkerHandle, dict[str, Any] | None]:
+        """Respawn a dead worker and bring it back to this round's barrier.
+
+        The replacement restores each owned tenant from its checkpoint
+        chain; per tenant, either the crashed round was already
+        committed (adopt the chain's embedded report) or it is re-run
+        -- deterministic, because the board the worker re-seeds from is
+        exactly the one every tenant saw this round (publication only
+        happens after the barrier).  Ends with a checkpoint ack so the
+        fleet state never outruns the respawned tenants' durable state.
+        """
+        if self.checkpoint_dir is None:
+            raise FleetError(
+                f"resident worker {handle.worker_id} died and no "
+                "checkpoint directory is configured; run with "
+                "--checkpoint-dir to make worker crashes recoverable"
+            )
+        handle = pool.respawn(handle)
+        self._sync_board(pool, handle)
+        stats = self.worker_stats.setdefault(handle.worker_id, {
+            "tenants": sorted(handle.tenant_ids),
+            "tenant_days": 0,
+            "records": 0,
+            "elapsed_seconds": 0.0,
+            "respawns": 0,
+        })
+        stats["respawns"] += 1
+        tasks: list[dict[str, Any]] = []
+        for spec in pool.specs_of(handle):
+            tenant_id = spec.tenant_id
+            if rnd >= len(files[tenant_id]):
+                continue
+            disk = handle.cursors.get(tenant_id, 0)
+            if disk > rnd:
+                # Committed before the crash; adopt the persisted report.
+                cursors[tenant_id] = disk
+                persisted = handle.carried.get(tenant_id)
+                if persisted is not None:
+                    results[tenant_id] = TenantDayReport.from_dict(persisted)
+            else:
+                if disk < rnd:
+                    raise FleetError(
+                        f"tenant {tenant_id!r} checkpoint at round {disk} "
+                        f"cannot recover round {rnd}"
+                    )
+                tasks.append({
+                    "tenant_id": tenant_id,
+                    "log_path": str(files[tenant_id][rnd]),
+                    "bootstrap": rnd < spec.bootstrap_files,
+                })
+        response: dict[str, Any] | None = None
+        if tasks:
+            pool.send(handle, {
+                "cmd": CMD_ADVANCE_DAY, "round": rnd, "tasks": tasks,
+            })
+            response = pool.recv(handle)
+        pool.send(handle, {"cmd": CMD_CHECKPOINT, "round": rnd + 1})
+        pool.recv(handle)
+        return handle, response

@@ -1,0 +1,838 @@
+"""Resident fleet workers: long-lived per-tenant engine processes.
+
+The fleet's original process executor shipped each tenant's *entire*
+engine snapshot through a checkpoint file every round -- O(lifetime
+history) serialization per tenant-day, which made ``--executor
+process`` slower than serial.  This module replaces it with **resident
+workers**: N long-lived processes, each owning a stable subset of
+tenants whose streaming engines stay in worker memory across rounds.
+Only three thin flows cross the process boundary per round:
+
+* ``INJECT_INTEL`` (manager -> worker): new cross-tenant prior-board
+  entries since the worker's last sync (:meth:`IntelPlane.board_delta`
+  wire documents), folded into a worker-local
+  :class:`~repro.fleet.intel.BoardReplica`;
+* ``ADVANCE_DAY`` (manager -> worker -> manager): the round's log file
+  per owned tenant in, the per-tenant day reports plus WHOIS
+  cache-fill and seeds-served accounting deltas back out;
+* ``CHECKPOINT`` (manager -> worker, acked): each tenant's engine is
+  committed to its on-disk *checkpoint chain* -- a periodic full
+  snapshot plus per-round barrier deltas
+  (:class:`repro.state.EngineDeltaTracker`) appended to a JSONL
+  sidecar, so commit cost is O(changes), not O(history).
+
+Commands and responses travel over per-worker ``multiprocessing``
+queues.  Queue order is the ordering guarantee: ``INJECT_INTEL`` is
+fire-and-forget, but because it is enqueued before the round's
+``ADVANCE_DAY`` on the same FIFO queue, a worker always folds the
+board delta in before computing any subsequent day's seeds (the
+ordered-delivery property the tests pin down).
+
+**Crash recovery.**  The manager polls liveness while waiting on a
+response (``heartbeat`` seconds); a dead worker raises
+:class:`WorkerDied` and is respawned by :meth:`ResidentPool.respawn`
+with the same tenant subset, each engine restored from its checkpoint
+chain -- without disturbing the other workers.  The ready handshake
+reports per-tenant cursors plus the last persisted report, letting the
+manager decide per tenant whether the crashed round must be re-run
+(deterministic: same files, same seeds) or its report can be adopted.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import queue
+import time
+from collections.abc import Sequence, Set
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..config import SystemConfig
+from ..intel.whois_db import WhoisDatabase, load_whois_file
+from ..logs.dns import parse_dns_log
+from ..logs.proxy import parse_proxy_log
+from ..state import (
+    EngineDeltaTracker,
+    apply_engine_delta,
+    decode_config,
+    encode_config,
+    encode_engine,
+    load_detector,
+    load_json,
+    restore_engine,
+    save_json_atomic,
+)
+from ..streaming import (
+    StreamDayReport,
+    StreamingDetector,
+    StreamingEnterpriseDetector,
+)
+from ..streaming.events import dns_connection_stream, shard_of
+from ..profiling.rare import DailyTraffic, merge_daily_traffic
+from .intel import BoardReplica, CacheStats, TenantWhoisView, _TenantCache
+from .manifest import TenantSpec
+from .report import TenantDayReport
+
+FLEET_STATE_VERSION = 1
+
+#: Command verbs of the manager -> worker protocol.
+CMD_ADVANCE_DAY = "ADVANCE_DAY"
+CMD_INJECT_INTEL = "INJECT_INTEL"
+CMD_CHECKPOINT = "CHECKPOINT"
+CMD_SHUTDOWN = "SHUTDOWN"
+
+
+class FleetError(RuntimeError):
+    """Raised on fleet configuration or checkpoint problems."""
+
+
+class WorkerDied(FleetError):
+    """A resident worker process died while the manager awaited it."""
+
+    def __init__(self, worker_id: int) -> None:
+        super().__init__(f"resident worker {worker_id} died")
+        self.worker_id = worker_id
+
+
+# ---------------------------------------------------------------------------
+# Worker-resident read-only intel
+# ---------------------------------------------------------------------------
+
+_WHOIS_MEMO: dict[str, WhoisDatabase] = {}
+
+
+def load_whois_cached(path: str | Path) -> WhoisDatabase:
+    """Parse a WHOIS file once per process and memoize the registry.
+
+    Pool and resident workers alike live across rounds; re-parsing the
+    (read-only) registry every round submission was pure overhead and
+    reset all cache accounting.  The memo key is the path string --
+    fleet runs never rewrite the registry mid-run.
+    """
+    key = str(path)
+    registry = _WHOIS_MEMO.get(key)
+    if registry is None:
+        registry = load_whois_file(path)
+        _WHOIS_MEMO[key] = registry
+    return registry
+
+
+class WorkerIntelCache:
+    """Worker-resident memoized WHOIS lookups with tenant attribution.
+
+    Shaped like the plane for :class:`TenantWhoisView` (it only needs
+    ``whois_lookup(tenant_id, domain)``), so enterprise engines inside
+    a resident worker route feature-extraction lookups through this
+    cache exactly as thread-mode engines route through the
+    :class:`~repro.fleet.intel.IntelPlane`.  :meth:`stats_delta`
+    returns the accounting accrued since the previous call; the worker
+    ships it with each ``ADVANCE_DAY`` response and the manager absorbs
+    it into the plane, keeping fleet-wide hit counters meaningful
+    across rounds and process boundaries.
+    """
+
+    def __init__(self, whois: WhoisDatabase | None) -> None:
+        self.whois = whois
+        self.cache = _TenantCache()
+        self._reported = CacheStats()
+
+    def whois_lookup(self, tenant_id: str, domain: str):
+        """Memoized registry lookup attributed to ``tenant_id``."""
+        return self.cache.get(
+            domain,
+            tenant_id,
+            lambda: self.whois.lookup(domain) if self.whois else None,
+        )
+
+    def view(self, tenant_id: str) -> TenantWhoisView:
+        """A per-tenant ``WhoisDatabase``-shaped view over this cache."""
+        return TenantWhoisView(self, tenant_id)
+
+    def stats_delta(self) -> dict[str, int]:
+        """Accounting accrued since the last call (an ``as_dict`` doc)."""
+        stats = self.cache.stats
+        delta = {
+            "hits": stats.hits - self._reported.hits,
+            "misses": stats.misses - self._reported.misses,
+            "cross_tenant_hits": (
+                stats.cross_tenant_hits - self._reported.cross_tenant_hits
+            ),
+        }
+        self._reported = CacheStats(**stats.as_dict())
+        return delta
+
+
+# ---------------------------------------------------------------------------
+# One tenant, one day (shared by every executor)
+# ---------------------------------------------------------------------------
+
+def _scored_detections(report: StreamDayReport) -> dict[str, float]:
+    """Publication scores: seed/C&C labels count as confirmed (1.0),
+    similarity labels keep their labeling score."""
+    scores: dict[str, float] = {}
+    if report.bp_result is not None:
+        for detection in report.bp_result.detections:
+            if detection.reason in ("seed", "cc"):
+                scores[detection.domain] = 1.0
+            else:
+                scores[detection.domain] = detection.score
+    for domain in report.detected:
+        scores.setdefault(domain, 1.0)
+    return scores
+
+
+def _ingest_day_sharded(detector, records, n_shards: int) -> None:
+    """Aggregate one DNS day through per-host-shard windows, merged.
+
+    The resident workers' promotion of the event bus's host shards
+    into real aggregation shards: connections are bucketed by
+    :func:`~repro.streaming.events.shard_of`, each bucket builds its
+    own :class:`DailyTraffic`, and the shards are merged at the
+    barrier (:func:`merge_daily_traffic`) before rollover recomputes
+    rarity and detection from the merged aggregate.  Byte-identical to
+    serial ingestion because host-hash shards keep every (host,
+    domain) series whole.  Valid only from an empty window on the DNS
+    path (no UA staging) -- callers guard.
+    """
+    window = detector.window
+    connections = list(
+        dns_connection_stream(
+            records,
+            detector.funnel,
+            fold_level=detector.config.rarity.fold_level,
+        )
+    )
+    buckets: list[list] = [[] for _ in range(n_shards)]
+    for conn in connections:
+        buckets[shard_of(conn.host, n_shards)].append(conn)
+    shards = [DailyTraffic(window.day) for _ in range(n_shards)]
+    for shard, bucket in zip(shards, buckets):
+        shard.ingest(bucket)
+    window.traffic = merge_daily_traffic(shards, day=window.day)
+    window.traffic.index()
+    window.events_today = len(connections)
+    detector.events_total += len(connections)
+
+
+def _advance_one_day(
+    detector,
+    spec_id: str,
+    path: Path,
+    *,
+    bootstrap: bool,
+    seeds: Set[str],
+    pipeline: str = "dns",
+    window_shards: int = 1,
+) -> TenantDayReport | None:
+    """Feed one log file through a tenant's engine; close the day.
+
+    This is every fleet round's inner loop, so its cost rides on the
+    scoring hot path: the engine's window maintains the day's
+    :class:`~repro.profiling.index.TrafficIndex` incrementally during
+    ingest, and the rollover's belief propagation scores its frontier
+    through the index-backed incremental scorers.  The wall-clock cost
+    of the day is reported per tenant for throughput tracking.
+
+    ``window_shards > 1`` routes eligible DNS days through
+    :func:`_ingest_day_sharded` (aggregation shards merged at the
+    barrier); enterprise days and non-empty windows keep the serial
+    path.
+    """
+    started = time.perf_counter()
+    sharded = (
+        window_shards > 1
+        and pipeline != "enterprise"
+        and detector.window.ua_history is None
+        and detector.window.events_today == 0
+        and len(detector.bus) == 0
+    )
+    with path.open() as handle:
+        if pipeline == "enterprise":
+            detector.submit_raw(parse_proxy_log(handle))
+        elif sharded:
+            _ingest_day_sharded(detector, parse_dns_log(handle), window_shards)
+        else:
+            detector.submit_raw(parse_dns_log(handle))
+    detector.poll()
+    report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
+    if bootstrap:
+        return None
+    return TenantDayReport(
+        tenant_id=spec_id,
+        day=report.day,
+        source=path.name,
+        records=report.records,
+        rare_count=len(report.rare_domains),
+        cc_domains=set(report.cc_domains),
+        detected=list(report.detected),
+        intel_seeded=set(report.intel_seeded),
+        scores=_scored_detections(report),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint chains: periodic full snapshots + per-round barrier deltas
+# ---------------------------------------------------------------------------
+
+def _tenant_checkpoint_path(checkpoint_dir: Path, tenant_id: str) -> Path:
+    """Location of one tenant's full checkpoint document."""
+    return checkpoint_dir / tenant_id / "checkpoint.json"
+
+
+def _tenant_delta_path(checkpoint_dir: Path, tenant_id: str) -> Path:
+    """Location of one tenant's barrier-delta JSONL sidecar."""
+    return checkpoint_dir / tenant_id / "deltas.jsonl"
+
+
+def _save_tenant_checkpoint(
+    detector,
+    path: Path,
+    report: dict[str, Any] | None,
+    rounds_done: int,
+) -> None:
+    """Write one tenant's full checkpoint wrapper atomically.
+
+    A full write supersedes the tenant's delta chain, so the sidecar is
+    truncated here -- keeping the invariant that every executor's
+    checkpoints (the thread/process modes write fulls every round) are
+    readable through :func:`load_tenant_chain`.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_json_atomic(
+        {
+            "version": FLEET_STATE_VERSION,
+            "kind": "fleet-tenant",
+            "round": rounds_done,
+            "engine": encode_engine(detector),
+            "report": report,
+        },
+        path,
+    )
+    path.with_name("deltas.jsonl").unlink(missing_ok=True)
+
+
+def _load_tenant_checkpoint(path: Path) -> dict[str, Any]:
+    """Read a tenant checkpoint wrapper, validating its schema."""
+    wrapper = load_json(path)
+    if wrapper.get("kind") != "fleet-tenant" or "engine" not in wrapper:
+        raise FleetError(
+            f"{path} is not a fleet tenant checkpoint "
+            f"(kind={wrapper.get('kind')!r})"
+        )
+    return wrapper
+
+
+def _checkpoint_rounds(wrapper: dict[str, Any]) -> int:
+    """Rounds a tenant has completed, per its checkpoint.
+
+    Older (pre-enterprise) checkpoints lack the explicit counter; for
+    those the DNS engine's day index equals the file count consumed.
+    """
+    if "round" in wrapper:
+        return int(wrapper["round"])
+    return int(wrapper["engine"]["window"]["day"])
+
+
+@dataclass
+class TenantChain:
+    """One tenant's on-disk checkpoint chain, parsed and validated."""
+
+    engine: dict[str, Any]
+    """Full engine snapshot payload (the chain's base)."""
+
+    base_rounds: int
+    """Rounds committed as of the full snapshot."""
+
+    deltas: list[dict[str, Any]]
+    """Barrier deltas to apply on top, in round order."""
+
+    rounds: int
+    """Rounds committed after the last delta (the tenant's cursor)."""
+
+    report: dict[str, Any] | None
+    """Last persisted day report (``None`` after a bootstrap round)."""
+
+
+def load_tenant_chain(checkpoint_dir: Path, tenant_id: str) -> TenantChain:
+    """Parse a tenant's checkpoint chain from disk.
+
+    Delta lines that predate the full snapshot (a crash between the
+    full rewrite and the sidecar truncation), arrive out of order, or
+    are torn mid-write (a crash mid-append) are dropped -- a torn tail
+    can only belong to a round the fleet never committed, because the
+    checkpoint ack always precedes the fleet-state commit.
+    """
+    wrapper = _load_tenant_checkpoint(
+        _tenant_checkpoint_path(checkpoint_dir, tenant_id)
+    )
+    base_rounds = _checkpoint_rounds(wrapper)
+    rounds = base_rounds
+    report = wrapper.get("report")
+    deltas: list[dict[str, Any]] = []
+    delta_path = _tenant_delta_path(checkpoint_dir, tenant_id)
+    if delta_path.exists():
+        for line in delta_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if int(entry.get("round", 0)) <= rounds:
+                continue
+            deltas.append(entry["delta"])
+            rounds = int(entry["round"])
+            report = entry.get("report")
+    return TenantChain(
+        engine=wrapper["engine"],
+        base_rounds=base_rounds,
+        deltas=deltas,
+        rounds=rounds,
+        report=report,
+    )
+
+
+def restore_tenant_chain(chain: TenantChain, whois=None):
+    """Rebuild a streaming engine from its checkpoint chain."""
+    detector = restore_engine(chain.engine, whois=whois)
+    for delta in chain.deltas:
+        apply_engine_delta(detector, delta)
+    if chain.deltas:
+        detector.resync()
+    return detector
+
+
+class TenantCheckpointStore:
+    """Commits one tenant's engine to its checkpoint chain.
+
+    Every ``full_every``-th commit (and the first) rewrites the full
+    snapshot atomically and truncates the delta sidecar; the commits in
+    between append one barrier-delta line each, costing O(changes)
+    instead of O(history).  Re-committing an unchanged round is a
+    no-op, so idle tenants (out of log files) stay cheap.
+    """
+
+    def __init__(
+        self,
+        detector,
+        checkpoint_dir: Path,
+        tenant_id: str,
+        *,
+        full_every: int = 16,
+        since_full: int | None = None,
+    ) -> None:
+        self.detector = detector
+        self.full_path = _tenant_checkpoint_path(checkpoint_dir, tenant_id)
+        self.delta_path = _tenant_delta_path(checkpoint_dir, tenant_id)
+        self.full_every = max(1, full_every)
+        self.tracker = EngineDeltaTracker(detector)
+        self._since_full = since_full
+        self._committed_rounds: int | None = None
+
+    def commit(self, report: dict[str, Any] | None, rounds_done: int) -> None:
+        """Persist the engine's barrier state for ``rounds_done``."""
+        if rounds_done == self._committed_rounds:
+            return
+        if self._since_full is None or self._since_full >= self.full_every:
+            _save_tenant_checkpoint(
+                self.detector, self.full_path, report, rounds_done
+            )
+            self.tracker.rebase()
+            self._since_full = 0
+        else:
+            line = json.dumps({
+                "round": rounds_done,
+                "report": report,
+                "delta": self.tracker.delta(),
+            })
+            self.delta_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.delta_path.open("a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+            self._since_full += 1
+        self._committed_rounds = rounds_done
+
+
+# ---------------------------------------------------------------------------
+# The worker process
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _TenantRuntime:
+    """One tenant's resident state inside a worker process."""
+
+    tenant_id: str
+    pipeline: str
+    detector: Any
+    store: TenantCheckpointStore | None
+    cursor: int = 0
+    last_report: dict[str, Any] | None = None
+
+
+def _build_worker_tenant(
+    tenant: dict[str, Any],
+    checkpoint_dir: Path | None,
+    cache: WorkerIntelCache,
+    *,
+    resume: bool,
+    full_every: int,
+) -> _TenantRuntime:
+    """Build (or restore from its chain) one tenant's resident engine.
+
+    With no checkpoint directory the engine is always built fresh and
+    gets no checkpoint store -- the durability-free fast path for
+    ephemeral runs (benchmarks, parity checks) that never resume.
+    """
+    tenant_id = tenant["tenant_id"]
+    whois_view = (
+        cache.view(tenant_id)
+        if cache.whois is not None and tenant["pipeline"] == "enterprise"
+        else None
+    )
+    full_path = (
+        _tenant_checkpoint_path(checkpoint_dir, tenant_id)
+        if checkpoint_dir is not None else None
+    )
+    if resume and full_path is not None and full_path.exists():
+        chain = load_tenant_chain(checkpoint_dir, tenant_id)
+        detector = restore_tenant_chain(chain, whois=whois_view)
+        cursor, last_report = chain.rounds, chain.report
+        since_full: int | None = len(chain.deltas)
+    elif tenant["pipeline"] == "enterprise":
+        detector = StreamingEnterpriseDetector(
+            load_detector(tenant["model_state"], whois=whois_view)
+        )
+        cursor, last_report, since_full = 0, None, None
+    else:
+        detector = StreamingDetector(
+            config=(
+                decode_config(tenant["config"])
+                if tenant["config"] is not None else None
+            ),
+            internal_suffixes=tuple(tenant["internal_suffixes"]),
+            server_ips=frozenset(tenant["server_ips"]),
+        )
+        cursor, last_report, since_full = 0, None, None
+    store = (
+        TenantCheckpointStore(
+            detector,
+            checkpoint_dir,
+            tenant_id,
+            full_every=full_every,
+            since_full=since_full,
+        )
+        if checkpoint_dir is not None else None
+    )
+    return _TenantRuntime(
+        tenant_id=tenant_id,
+        pipeline=tenant["pipeline"],
+        detector=detector,
+        store=store,
+        cursor=cursor,
+        last_report=last_report,
+    )
+
+
+def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
+    """Entry point of one resident fleet worker process.
+
+    Builds (or restores) the engines of every owned tenant, answers the
+    ready handshake with per-tenant cursors, then serves commands until
+    ``SHUTDOWN``.  Any exception is reported as an ``error`` response
+    rather than a silent death, so the manager can distinguish a
+    detection failure (fatal, surfaced) from a crashed process
+    (respawned).
+    """
+    try:
+        checkpoint_dir = (
+            Path(init["checkpoint_dir"])
+            if init["checkpoint_dir"] is not None else None
+        )
+        needs_whois = init["whois_path"] is not None and any(
+            tenant["pipeline"] == "enterprise" for tenant in init["tenants"]
+        )
+        cache = WorkerIntelCache(
+            load_whois_cached(init["whois_path"]) if needs_whois else None
+        )
+        replica = BoardReplica()
+        seeds_reported = 0
+        runtimes: dict[str, _TenantRuntime] = {}
+        for tenant in init["tenants"]:
+            runtimes[tenant["tenant_id"]] = _build_worker_tenant(
+                tenant,
+                checkpoint_dir,
+                cache,
+                resume=init["resume"],
+                full_every=init["full_every"],
+            )
+        responses.put({
+            "event": "ready",
+            "worker": worker_id,
+            "cursors": {t: rt.cursor for t, rt in runtimes.items()},
+            "reports": {t: rt.last_report for t, rt in runtimes.items()},
+        })
+        while True:
+            message = commands.get()
+            cmd = message.get("cmd")
+            if cmd == CMD_SHUTDOWN:
+                responses.put({"event": "bye", "worker": worker_id})
+                return
+            if cmd == CMD_INJECT_INTEL:
+                # Fire-and-forget; FIFO queue order guarantees the
+                # entries land before any later ADVANCE_DAY's seeds.
+                replica.apply(message["entries"])
+                continue
+            if cmd == CMD_ADVANCE_DAY:
+                rnd = int(message["round"])
+                reports = []
+                for task in message["tasks"]:
+                    runtime = runtimes[task["tenant_id"]]
+                    seeds = (
+                        frozenset() if task["bootstrap"]
+                        else replica.seeds_for(runtime.tenant_id)
+                    )
+                    report = _advance_one_day(
+                        runtime.detector,
+                        runtime.tenant_id,
+                        Path(task["log_path"]),
+                        bootstrap=task["bootstrap"],
+                        seeds=seeds,
+                        pipeline=runtime.pipeline,
+                        window_shards=init["window_shards"],
+                    )
+                    runtime.cursor = rnd + 1
+                    runtime.last_report = (
+                        report.as_dict() if report is not None else None
+                    )
+                    reports.append({
+                        "tenant_id": runtime.tenant_id,
+                        "report": runtime.last_report,
+                    })
+                served = replica.seeds_served - seeds_reported
+                seeds_reported = replica.seeds_served
+                responses.put({
+                    "event": "advanced",
+                    "worker": worker_id,
+                    "round": rnd,
+                    "reports": reports,
+                    "whois_stats": cache.stats_delta(),
+                    "seeds_served": served,
+                })
+                continue
+            if cmd == CMD_CHECKPOINT:
+                for runtime in runtimes.values():
+                    if runtime.store is not None:
+                        runtime.store.commit(
+                            runtime.last_report, runtime.cursor
+                        )
+                responses.put({
+                    "event": "checkpointed",
+                    "worker": worker_id,
+                    "round": message.get("round"),
+                })
+                continue
+            responses.put({
+                "event": "error",
+                "worker": worker_id,
+                "error": f"unknown command {cmd!r}",
+            })
+    except Exception as exc:  # surfaced to the manager as a fatal error
+        responses.put({
+            "event": "error",
+            "worker": worker_id,
+            "error": f"{type(exc).__name__}: {exc}",
+        })
+
+
+# ---------------------------------------------------------------------------
+# The manager-side pool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WorkerHandle:
+    """Manager-side view of one resident worker process."""
+
+    worker_id: int
+    tenant_ids: tuple[str, ...]
+    process: Any
+    commands: Any
+    responses: Any
+    synced_revision: int = 0
+    """Prior-board revision this worker has been synced through."""
+
+    cursors: dict[str, int] = field(default_factory=dict)
+    """Per-tenant rounds committed on disk, per the ready handshake."""
+
+    carried: dict[str, dict[str, Any] | None] = field(default_factory=dict)
+    """Per-tenant last persisted report, per the ready handshake."""
+
+    @property
+    def pid(self) -> int | None:
+        """The worker process's PID (test hooks kill through this)."""
+        return self.process.pid
+
+
+class ResidentPool:
+    """Spawns, drives and respawns the resident workers (manager side).
+
+    Tenants are partitioned round-robin by position (``specs[i::n]``),
+    so the assignment is stable across respawns and across runs of the
+    same manifest -- a respawned worker always finds its own tenants'
+    checkpoint chains.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TenantSpec],
+        *,
+        workers: int,
+        checkpoint_dir: Path | None,
+        whois_path: Path | None,
+        config: SystemConfig | None,
+        resume: bool,
+        heartbeat: float = 5.0,
+        full_every: int = 16,
+        window_shards: int = 1,
+    ) -> None:
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.whois_path = whois_path
+        self.config = config
+        self.heartbeat = heartbeat
+        self.full_every = full_every
+        self.window_shards = window_shards
+        count = max(1, min(workers, len(specs)))
+        self._assignment: list[list[TenantSpec]] = [
+            list(specs[i::count]) for i in range(count)
+        ]
+        self._ctx = mp.get_context()
+        self.workers: list[WorkerHandle] = [
+            self._spawn(i, resume=resume) for i in range(count)
+        ]
+
+    def specs_of(self, handle: WorkerHandle) -> list[TenantSpec]:
+        """The tenant specs owned by one worker."""
+        return self._assignment[handle.worker_id]
+
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_id: int, *, resume: bool) -> WorkerHandle:
+        """Start one worker and complete its ready handshake."""
+        owned = self._assignment[worker_id]
+        init = {
+            "worker_id": worker_id,
+            "checkpoint_dir": (
+                str(self.checkpoint_dir)
+                if self.checkpoint_dir is not None else None
+            ),
+            "whois_path": (
+                str(self.whois_path) if self.whois_path is not None else None
+            ),
+            "resume": resume,
+            "full_every": self.full_every,
+            "window_shards": self.window_shards,
+            "tenants": [
+                {
+                    "tenant_id": spec.tenant_id,
+                    "pipeline": spec.pipeline,
+                    "model_state": (
+                        str(spec.model_state)
+                        if spec.model_state is not None else None
+                    ),
+                    "internal_suffixes": list(spec.internal_suffixes),
+                    "server_ips": sorted(spec.server_ips),
+                    "config": (
+                        encode_config(self.config)
+                        if self.config is not None else None
+                    ),
+                }
+                for spec in owned
+            ],
+        }
+        commands = self._ctx.Queue()
+        responses = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, commands, responses, init),
+            name=f"fleet-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        handle = WorkerHandle(
+            worker_id=worker_id,
+            tenant_ids=tuple(spec.tenant_id for spec in owned),
+            process=process,
+            commands=commands,
+            responses=responses,
+        )
+        ready = self.recv(handle)
+        handle.cursors = {
+            str(t): int(c) for t, c in ready["cursors"].items()
+        }
+        handle.carried = dict(ready["reports"])
+        return handle
+
+    # ------------------------------------------------------------------
+
+    def send(self, handle: WorkerHandle, message: dict[str, Any]) -> None:
+        """Enqueue one command on a worker's FIFO command queue."""
+        handle.commands.put(message)
+
+    def recv(self, handle: WorkerHandle) -> dict[str, Any]:
+        """Await a worker's next response, polling liveness.
+
+        Raises :class:`WorkerDied` when the process exits without
+        answering (crash -- respawnable) and :class:`FleetError` when
+        the worker reports an error (fatal configuration/data problem).
+        """
+        while True:
+            try:
+                message = handle.responses.get(timeout=self.heartbeat)
+            except queue.Empty:
+                if not handle.process.is_alive():
+                    raise WorkerDied(handle.worker_id) from None
+                continue
+            if message.get("event") == "error":
+                raise FleetError(
+                    f"worker {handle.worker_id}: {message['error']}"
+                )
+            return message
+
+    def respawn(self, handle: WorkerHandle) -> WorkerHandle:
+        """Replace a dead worker with a fresh process, same tenants.
+
+        The replacement restores every owned engine from its checkpoint
+        chain (``resume=True``); other workers are not disturbed.  The
+        caller re-syncs the prior board (the new handle starts at
+        revision 0) and decides per tenant whether the in-flight round
+        must be re-run.
+        """
+        self._reap(handle)
+        replacement = self._spawn(handle.worker_id, resume=True)
+        self.workers[handle.worker_id] = replacement
+        return replacement
+
+    def _reap(self, handle: WorkerHandle) -> None:
+        """Release a dead worker's process and queue resources."""
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5)
+        for q in (handle.commands, handle.responses):
+            q.close()
+            q.cancel_join_thread()
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite ``SHUTDOWN`` first, then reap."""
+        for handle in self.workers:
+            if handle.process.is_alive():
+                try:
+                    self.send(handle, {"cmd": CMD_SHUTDOWN})
+                except (OSError, ValueError):
+                    pass
+        for handle in self.workers:
+            handle.process.join(timeout=5)
+            self._reap(handle)

@@ -148,6 +148,45 @@ def extract_rare_domains(
     return rare
 
 
+def merge_daily_traffic(
+    shards: Iterable[DailyTraffic], *, day: int | None = None
+) -> DailyTraffic:
+    """Union per-shard day aggregates into one :class:`DailyTraffic`.
+
+    Sound when the shards partition connections by *host* hash (the
+    event bus's :func:`~repro.streaming.events.shard_of`): every
+    (host, domain) timestamp series then lives wholly inside one shard,
+    so the pair-keyed dicts are disjoint and concatenate trivially,
+    while the domain-keyed host/IP sets union commutatively.  The
+    result is indistinguishable from ingesting all connections into a
+    single aggregate, which is what makes a sharded day's rollover
+    detections byte-identical to serial ingestion (the property the
+    resident fleet workers' sharded windows rely on).
+
+    The merged aggregate carries no armed index; callers needing one
+    build it with :meth:`DailyTraffic.index` after merging.
+    """
+    shards = list(shards)
+    if day is None:
+        day = shards[0].day if shards else 0
+    merged = DailyTraffic(day)
+    for shard in shards:
+        for domain, hosts in shard.hosts_by_domain.items():
+            merged.hosts_by_domain[domain] |= hosts
+        for host, domains in shard.domains_by_host.items():
+            merged.domains_by_host[host] |= domains
+        for pair, times in shard.timestamps.items():
+            merged.timestamps[pair].extend(times)
+        for domain, ips in shard.resolved_ips.items():
+            merged.resolved_ips[domain] |= ips
+        for domain, hosts in shard.no_referer_hosts.items():
+            merged.no_referer_hosts[domain] |= hosts
+        for domain, hosts in shard.rare_ua_hosts.items():
+            merged.rare_ua_hosts[domain] |= hosts
+        merged._unsorted |= shard._unsorted
+    return merged
+
+
 def rare_domains_by_host(
     traffic: DailyTraffic, rare: set[str]
 ) -> dict[str, set[str]]:

@@ -507,6 +507,162 @@ def restore_engine(payload: dict[str, Any], whois=None):
     raise StateError(f"not a streaming engine checkpoint (kind={kind!r})")
 
 
+# ---------------------------------------------------------------------------
+# Barrier delta checkpoints (resident fleet workers)
+# ---------------------------------------------------------------------------
+
+def _require_barrier(detector) -> None:
+    """Reject delta snapshots taken away from a day barrier.
+
+    Right after :meth:`rollover` an engine's volatile state is empty --
+    fresh window, no queued events, no staged profile entries, no
+    belief-propagation prior -- so everything that changed since the
+    previous barrier lives in the committed histories and a handful of
+    counters.  That is the whole reason deltas are cheap; anywhere else
+    they would silently drop mid-day state.
+    """
+    if len(detector.bus) > 0:
+        raise StateError(
+            f"{len(detector.bus)} events still queued on the event bus; "
+            "delta checkpoints are barrier-only"
+        )
+    if detector.window.events_today != 0:
+        raise StateError(
+            "window holds same-day events; delta checkpoints are "
+            "barrier-only (call rollover() first)"
+        )
+    if detector.history._pending:
+        raise StateError(
+            "destination history has staged entries; delta checkpoints "
+            "are barrier-only"
+        )
+    ua = detector.window.ua_history
+    if ua is not None and ua._pending:
+        raise StateError(
+            "user-agent history has staged entries; delta checkpoints "
+            "are barrier-only"
+        )
+
+
+class EngineDeltaTracker:
+    """Computes per-barrier deltas of a streaming engine's state.
+
+    A full :func:`encode_engine` snapshot re-serializes the entire
+    destination history every round -- O(lifetime) work that made the
+    fleet's process executor slower than serial.  At a day barrier the
+    only state that changed since the previous barrier is *additive*:
+    new first-seen history entries, newly committed days, new
+    user-agent host sightings, plus a few scalar counters.  The tracker
+    keeps a baseline of what was last persisted and emits exactly those
+    additions (:meth:`delta`), advancing the baseline each call.
+
+    First-seen additions are recovered from dict insertion order (the
+    history only ever appends), so a delta costs O(changes), not
+    O(history).  UA host sets have no such order; the tracker keeps a
+    per-UA copy of the persisted sets -- bounded by the UA vocabulary,
+    which is small next to the domain history.
+    """
+
+    def __init__(self, detector) -> None:
+        self.detector = detector
+        self._n_domains = 0
+        self._days: set[int] = set()
+        self._ua: dict[str, set[str]] | None = None
+        self.rebase()
+
+    def rebase(self) -> None:
+        """Reset the baseline to the engine's current state (call after
+        persisting a full snapshot)."""
+        history = self.detector.history
+        self._n_domains = len(history._first_seen)
+        self._days = set(history.committed_days)
+        ua = self.detector.window.ua_history
+        self._ua = (
+            {u: set(hosts) for u, hosts in ua._hosts_by_ua.items()}
+            if ua is not None else None
+        )
+
+    def delta(self) -> dict[str, Any]:
+        """Additions since the baseline, as a JSON-able document.
+
+        Barrier-only (see :func:`_require_barrier`); advances the
+        baseline, so consecutive calls chain.
+        """
+        from itertools import islice
+
+        detector = self.detector
+        _require_barrier(detector)
+        history = detector.history
+        first_seen = dict(
+            islice(history._first_seen.items(), self._n_domains, None)
+        )
+        committed = sorted(set(history.committed_days) - self._days)
+        ua = detector.window.ua_history
+        ua_hosts: dict[str, list[str]] | None = None
+        if ua is not None:
+            assert self._ua is not None
+            ua_hosts = {}
+            for agent, hosts in ua._hosts_by_ua.items():
+                seen = self._ua.get(agent)
+                new = hosts - seen if seen is not None else set(hosts)
+                if new:
+                    ua_hosts[agent] = sorted(new)
+        payload: dict[str, Any] = {
+            "window_day": detector.window.day,
+            "events_total": detector.events_total,
+            "first_seen": first_seen,
+            "committed_days": committed,
+            "ua_hosts": ua_hosts,
+        }
+        batch = getattr(detector, "batch", None)
+        if batch is not None and batch.extractor.whois is not None:
+            extractor = batch.extractor.whois
+            payload["whois_impute"] = {
+                "age_sum": extractor._age_sum,
+                "validity_sum": extractor._validity_sum,
+                "observed": extractor._observed,
+            }
+        self.rebase()
+        return payload
+
+
+def apply_engine_delta(detector, delta: dict[str, Any]) -> None:
+    """Replay one barrier delta onto a restored streaming engine.
+
+    Applies the history/UA additions, advances the window to the
+    delta's (empty) day and restores the scalar counters.  Callers
+    apply deltas in round order and finish the chain with a single
+    ``detector.resync()``.
+    """
+    from .profiling.rare import DailyTraffic
+
+    history = detector.history
+    for domain, day in delta["first_seen"].items():
+        history._first_seen.setdefault(str(domain), int(day))
+    history._committed_days.update(int(d) for d in delta["committed_days"])
+    ua = detector.window.ua_history
+    if delta.get("ua_hosts") and ua is not None:
+        for agent, hosts in delta["ua_hosts"].items():
+            ua._hosts_by_ua.setdefault(agent, set()).update(hosts)
+    window = detector.window
+    window.day = int(delta["window_day"])
+    window.traffic = DailyTraffic(window.day)
+    window.events_today = 0
+    window.tracker.reset()
+    window.dirty_pairs.clear()
+    window.rare_changes.clear()
+    detector.prior = None
+    detector.events_total = int(delta["events_total"])
+    impute = delta.get("whois_impute")
+    if impute is not None:
+        batch = getattr(detector, "batch", None)
+        extractor = batch.extractor.whois if batch is not None else None
+        if extractor is not None:
+            extractor._age_sum = float(impute["age_sum"])
+            extractor._validity_sum = float(impute["validity_sum"])
+            extractor._observed = int(impute["observed"])
+
+
 def save_json_atomic(payload: dict[str, Any], path: str | Path) -> None:
     """Serialize ``payload`` to ``path`` atomically (temp file + rename).
 

@@ -271,7 +271,7 @@ class TestFleetRun:
 # ---------------------------------------------------------------------------
 
 class TestFleetCheckpoint:
-    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("executor", ["thread", "process", "resident"])
     def test_interrupt_resume_matches_full_run(
         self, fleet_layout, serial_report, tmp_path, executor
     ):

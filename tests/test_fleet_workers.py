@@ -1,0 +1,265 @@
+"""Tests for the resident fleet executor (repro.fleet.workers).
+
+The load-bearing properties: resident workers produce byte-identical
+per-tenant detections at any worker count (including mixed-pipeline
+fleets and sharded window aggregation); a SIGKILLed worker's tenants
+respawn from their checkpoint chains and resume losslessly while the
+other workers keep running; ``INJECT_INTEL`` is applied before any
+later ``ADVANCE_DAY`` on the same queue (FIFO ordered delivery); and
+the delta-checkpoint chains on disk survive torn tails.
+"""
+
+import json
+import os
+import signal
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import FleetManager, load_manifest
+from repro.fleet.workers import (
+    CMD_ADVANCE_DAY,
+    CMD_CHECKPOINT,
+    CMD_INJECT_INTEL,
+    ResidentPool,
+    load_tenant_chain,
+)
+from repro.synthetic import write_fleet_layout
+from repro.testing import make_multi_enterprise_dataset
+
+DAYS = 4
+
+
+@pytest.fixture(scope="module")
+def mixed_layout(tmp_path_factory) -> Path:
+    """DNS lead + DNS follower + enterprise follower, 4 days on disk."""
+    dataset = make_multi_enterprise_dataset(3, enterprise_tenants=1)
+    directory = tmp_path_factory.mktemp("residentfleet")
+    return write_fleet_layout(dataset, directory, days=DAYS)
+
+
+@pytest.fixture(scope="module")
+def serial_detections(mixed_layout):
+    manifest = load_manifest(mixed_layout)
+    report = FleetManager.from_manifest(manifest, workers=1).run()
+    return _detections(report)
+
+
+def _detections(report):
+    return {t: sorted(d) for t, d in report.detected_by_tenant().items()}
+
+
+class TestResidentParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_serial(self, mixed_layout, serial_detections, workers):
+        manifest = load_manifest(mixed_layout)
+        report = FleetManager.from_manifest(
+            manifest, workers=workers, executor="resident",
+        ).run()
+        assert _detections(report) == serial_detections
+
+    def test_window_shards_keep_parity(self, mixed_layout, serial_detections):
+        manifest = load_manifest(mixed_layout)
+        report = FleetManager.from_manifest(
+            manifest, workers=2, executor="resident", window_shards=4,
+        ).run()
+        assert _detections(report) == serial_detections
+
+    def test_worker_stats_cover_all_tenants(self, mixed_layout):
+        manifest = load_manifest(mixed_layout)
+        manager = FleetManager.from_manifest(
+            manifest, workers=2, executor="resident",
+        )
+        report = manager.run()
+        owned = sorted(
+            t for stats in manager.worker_stats.values()
+            for t in stats["tenants"]
+        )
+        assert owned == sorted(t.tenant_id for t in manifest.tenants)
+        total_records = sum(
+            stats["records"] for stats in manager.worker_stats.values()
+        )
+        assert total_records == sum(
+            d.records for d in report.days
+        )
+
+    def test_worker_whois_stats_reach_the_plane(self, mixed_layout):
+        # Enterprise engines run feature extraction inside the worker
+        # process; their registry lookups must still land in the
+        # manager's shared accounting (the hoisted-cache fix).
+        manifest = load_manifest(mixed_layout)
+        manager = FleetManager.from_manifest(
+            manifest, workers=2, executor="resident",
+        )
+        manager.run()
+        assert manager.intel.whois_cache.stats.misses > 0
+
+
+class TestResidentCheckpoints:
+    def test_interrupt_resume_writes_delta_chains(
+        self, mixed_layout, serial_detections, tmp_path
+    ):
+        manifest = load_manifest(mixed_layout)
+        ckpt = tmp_path / "ckpt"
+        first = FleetManager.from_manifest(
+            manifest, workers=2, executor="resident",
+            checkpoint_dir=ckpt, full_checkpoint_every=2,
+        ).run(max_rounds=2)
+        assert first.interrupted
+        # Round 0 wrote fulls, round 1 appended deltas.
+        chains = {
+            spec.tenant_id: load_tenant_chain(ckpt, spec.tenant_id)
+            for spec in manifest.tenants
+        }
+        assert all(chain.rounds == 2 for chain in chains.values())
+        assert any(chain.deltas for chain in chains.values())
+
+        second = FleetManager.from_manifest(
+            manifest, workers=2, executor="resident",
+            checkpoint_dir=ckpt, resume=True, full_checkpoint_every=2,
+        ).run()
+        assert not second.interrupted
+        combined = {}
+        for day in first.days + second.days:
+            combined.setdefault(day.tenant_id, []).extend(day.detected)
+        assert {
+            t: sorted(d) for t, d in combined.items()
+        } == serial_detections
+
+    def test_torn_delta_tail_is_dropped(self, mixed_layout, tmp_path):
+        manifest = load_manifest(mixed_layout)
+        ckpt = tmp_path / "ckpt"
+        FleetManager.from_manifest(
+            manifest, workers=1, executor="resident",
+            checkpoint_dir=ckpt, full_checkpoint_every=2,
+        ).run(max_rounds=2)
+        tenant = manifest.tenants[0].tenant_id
+        chain = load_tenant_chain(ckpt, tenant)
+        assert chain.rounds == 2 and len(chain.deltas) == 1
+        # Simulate a crash mid-append: garbage after the good line.
+        delta_file = ckpt / tenant / "deltas.jsonl"
+        with delta_file.open("a") as handle:
+            handle.write('{"round": 3, "repo')
+        torn = load_tenant_chain(ckpt, tenant)
+        assert torn.rounds == 2 and len(torn.deltas) == 1
+
+    def test_stale_delta_lines_below_full_are_skipped(
+        self, mixed_layout, tmp_path
+    ):
+        manifest = load_manifest(mixed_layout)
+        ckpt = tmp_path / "ckpt"
+        FleetManager.from_manifest(
+            manifest, workers=1, executor="resident", checkpoint_dir=ckpt,
+        ).run(max_rounds=1)
+        tenant = manifest.tenants[0].tenant_id
+        # A leftover delta older than the full snapshot must be ignored.
+        (ckpt / tenant / "deltas.jsonl").write_text(
+            json.dumps({"round": 1, "report": None, "delta": {}}) + "\n"
+        )
+        chain = load_tenant_chain(ckpt, tenant)
+        assert chain.rounds == 1
+        assert chain.deltas == []
+
+
+class TestCrashRecovery:
+    def test_sigkill_resumes_losslessly(
+        self, mixed_layout, serial_detections, tmp_path
+    ):
+        # Kill the worker that owns the enterprise tenant after the
+        # first committed round; its tenants must respawn from their
+        # chains and the fleet must still match the serial run.
+        manifest = load_manifest(mixed_layout)
+        manager = FleetManager.from_manifest(
+            manifest, workers=2, executor="resident",
+            checkpoint_dir=tmp_path / "ckpt", heartbeat=0.5,
+            full_checkpoint_every=2,
+        )
+        killed = []
+
+        def on_round(reports):
+            if not killed:
+                victim = next(
+                    h for h in manager.resident_pool.workers
+                    if "t2" in h.tenant_ids
+                )
+                os.kill(victim.pid, signal.SIGKILL)
+                killed.append(victim.worker_id)
+
+        report = manager.run(on_round=on_round)
+        assert killed
+        assert _detections(report) == serial_detections
+        assert manager.worker_stats[killed[0]]["respawns"] == 1
+        others = [
+            stats["respawns"]
+            for worker_id, stats in manager.worker_stats.items()
+            if worker_id != killed[0]
+        ]
+        assert all(r == 0 for r in others)
+
+
+class TestOrderedDelivery:
+    def test_intel_applies_before_later_advance(self, mixed_layout, tmp_path):
+        # Drive a single-worker pool by hand: enqueue INJECT_INTEL
+        # immediately followed by ADVANCE_DAY without waiting.  FIFO
+        # delivery must fold the board entries in first, so the
+        # injected domains seed the advanced day's detection.
+        manifest = load_manifest(mixed_layout)
+        follower = next(
+            spec for spec in manifest.tenants
+            if spec.pipeline == "dns" and spec.tenant_id != "t0"
+        )
+        files = sorted(follower.directory.glob(follower.pattern))
+        serial = FleetManager.from_manifest(
+            load_manifest(mixed_layout), workers=1,
+        ).run()
+        seeded_day = next(
+            d for d in serial.days_for(follower.tenant_id) if d.intel_seeded
+        )
+        injected = sorted(seeded_day.intel_seeded)
+
+        pool = ResidentPool(
+            [follower],
+            workers=1,
+            checkpoint_dir=tmp_path / "ckpt",
+            whois_path=None,
+            config=None,
+            resume=False,
+        )
+        try:
+            handle = pool.workers[0]
+            for rnd, path in enumerate(files[: seeded_day.day + 1]):
+                if rnd == seeded_day.day:
+                    pool.send(handle, {
+                        "cmd": CMD_INJECT_INTEL,
+                        "entries": [
+                            {"domain": domain, "score": 1.0,
+                             "tenants": ["t0"], "first_day": rnd - 1}
+                            for domain in injected
+                        ],
+                    })
+                pool.send(handle, {
+                    "cmd": CMD_ADVANCE_DAY,
+                    "round": rnd,
+                    "tasks": [{
+                        "tenant_id": follower.tenant_id,
+                        "log_path": str(path),
+                        "bootstrap": rnd < follower.bootstrap_files,
+                    }],
+                })
+            responses = [
+                pool.recv(handle) for _ in files[: seeded_day.day + 1]
+            ]
+            final = responses[-1]["reports"][0]["report"]
+            assert set(injected) <= set(final["intel_seeded"])
+            assert set(injected) <= set(final["detected"])
+            pool.send(handle, {
+                "cmd": CMD_CHECKPOINT, "round": seeded_day.day + 1,
+            })
+            ack = pool.recv(handle)
+            assert ack["event"] == "checkpointed"
+            chain = load_tenant_chain(
+                tmp_path / "ckpt", follower.tenant_id
+            )
+            assert chain.rounds == seeded_day.day + 1
+        finally:
+            pool.shutdown()
