@@ -42,6 +42,7 @@ from conftest import OUT_DIR, save_output
 
 from repro.eval import render_table
 from repro.fleet import FleetManager, load_manifest
+from repro.obs.metrics import MetricsRegistry
 from repro.synthetic import (
     FleetScenarioConfig,
     LanlConfig,
@@ -183,10 +184,45 @@ def test_fleet_throughput():
                 }
             results.append(result)
 
+        # One extra instrumented resident run (outside the timing
+        # loop): the fleet-wide snapshot's stage breakdown for the
+        # summary, with detection parity against the uninstrumented
+        # baseline asserted -- the observability plane must be
+        # invisible to outcomes.
+        registry = MetricsRegistry()
+        manager = FleetManager.from_manifest(
+            manifest, workers=WORKERS, executor="resident",
+            metrics=registry,
+        )
+        instrumented = manager.run()
+        instr_detections = {
+            tenant: sorted(domains)
+            for tenant, domains in instrumented.detected_by_tenant().items()
+        }
+        assert instr_detections == baseline, (instr_detections, baseline)
+        snapshot = registry.snapshot()
+        tenant_days_counted = sum(
+            value for key, value in snapshot.counters.items()
+            if key.startswith("tenant_days_total")
+        )
+        assert tenant_days_counted == len(instrumented.days)
+        metrics_run = {
+            "executor": "resident",
+            "workers": WORKERS,
+            "detect_parity": True,
+            "stage_seconds": snapshot.timings(),
+            "tenant_days_counted": tenant_days_counted,
+        }
+
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / "fleet_throughput.json").write_text(
         json.dumps(
-            {"smoke": SMOKE, "cpu_count": os.cpu_count(), "modes": results},
+            {
+                "smoke": SMOKE,
+                "cpu_count": os.cpu_count(),
+                "modes": results,
+                "metrics": metrics_run,
+            },
             indent=1,
         ) + "\n"
     )

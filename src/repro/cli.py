@@ -98,6 +98,27 @@ def _add_generate_parser(subparsers) -> None:
     )
 
 
+def _add_obs_arguments(parser) -> None:
+    """Observability flags shared by run/stream/fleet."""
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None,
+        help="write the run's metrics snapshot to this JSON file (plus "
+             "a Prometheus-style text sibling with a .prom suffix); "
+             "also turns metric recording on -- detections are "
+             "identical either way",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="emit structured runtime events to stderr at this level "
+             "(off by default)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="format structured events (and errors) as JSON lines",
+    )
+
+
 def _add_run_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "run",
@@ -114,6 +135,7 @@ def _add_run_parser(subparsers) -> None:
         "--internal-suffix", action="append", default=[],
         help="internal namespace suffix to filter (repeatable)",
     )
+    _add_obs_arguments(parser)
 
 
 def _add_stream_parser(subparsers) -> None:
@@ -188,6 +210,7 @@ def _add_stream_parser(subparsers) -> None:
         "--verbose", action="store_true",
         help="print every intra-day scoring update, not just day reports",
     )
+    _add_obs_arguments(parser)
 
 
 def _add_fleet_parser(subparsers) -> None:
@@ -254,6 +277,7 @@ def _add_fleet_parser(subparsers) -> None:
         "--json", type=Path, default=None,
         help="also write the full fleet report to this JSON file",
     )
+    _add_obs_arguments(parser)
 
 
 def _add_timing_parser(subparsers) -> None:
@@ -288,10 +312,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _fail(message: str) -> int:
-    """Uniform one-line failure: no traceback, exit status 2."""
-    print(f"error: {message}", file=sys.stderr)
+def _fail(message: str, *, json_mode: bool = False) -> int:
+    """Uniform one-line failure: no traceback, exit status 2.
+
+    With ``json_mode`` (the command ran with ``--log-json``) the error
+    leaves through the structured logger as one JSON line on stderr,
+    so log collectors see failures in the same shape as every other
+    event.
+    """
+    if json_mode:
+        import logging
+
+        from .obs import configure_logging, get_logger, log_event
+
+        configure_logging("error", json_mode=True)
+        log_event(
+            get_logger("cli"), "error",
+            level=logging.ERROR, message=message,
+        )
+    else:
+        print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _setup_obs(args):
+    """Apply a command's obs flags; the run's registry (or ``None``).
+
+    Logging stays off unless asked for; the metrics registry exists
+    only when ``--metrics-out`` was given, so uninstrumented runs pay
+    the NULL-registry path everywhere.
+    """
+    if args.log_level is not None or args.log_json:
+        from .obs import configure_logging
+
+        configure_logging(args.log_level or "info", json_mode=args.log_json)
+    if args.metrics_out is None:
+        return None
+    from .obs.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _write_metrics(metrics, path: Path) -> None:
+    """Write the final snapshot: JSON at ``path``, text at ``.prom``."""
+    import json
+
+    snapshot = metrics.snapshot()
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot.as_dict(), indent=1) + "\n")
+    prom_path = path.with_suffix(".prom")
+    prom_path.write_text(snapshot.to_prom())
+    print(f"metrics written to {path} and {prom_path}")
 
 
 # ---------------------------------------------------------------------------
@@ -471,15 +543,17 @@ def _run_run(args) -> int:
     from .eval.clusters import triage_report
     from .runner import run_directory
 
+    metrics = _setup_obs(args)
     try:
         reports = run_directory(
             args.directory,
             bootstrap_files=args.bootstrap_files,
             pattern=args.pattern,
             internal_suffixes=tuple(args.internal_suffix),
+            metrics=metrics,
         )
     except (ValueError, OSError) as exc:
-        return _fail(str(exc))
+        return _fail(str(exc), json_mode=args.log_json)
     all_detected: set[str] = set()
     for report in reports:
         print(
@@ -492,6 +566,8 @@ def _run_run(args) -> int:
     if all_detected:
         print()
         print(triage_report(all_detected))
+    if metrics is not None:
+        _write_metrics(metrics, args.metrics_out)
     return 0
 
 
@@ -511,22 +587,28 @@ def _run_stream(args) -> int:
                 f"{update.mode}: detected={list(update.detected)}"
             )
 
+    metrics = _setup_obs(args)
     if args.resume and args.checkpoint is None:
-        return _fail("--resume requires --checkpoint")
+        return _fail("--resume requires --checkpoint",
+                     json_mode=args.log_json)
     enterprise = args.pipeline == "enterprise"
     if enterprise and args.model_state is None:
         return _fail(
             "--pipeline enterprise requires --model-state (a trained "
-            "detector JSON; see 'generate --pipeline enterprise')"
+            "detector JSON; see 'generate --pipeline enterprise')",
+            json_mode=args.log_json,
         )
     if not enterprise and args.model_state is not None:
-        return _fail("--model-state is only valid with --pipeline enterprise")
+        return _fail("--model-state is only valid with --pipeline enterprise",
+                     json_mode=args.log_json)
     if not enterprise and args.whois is not None:
-        return _fail("--whois is only valid with --pipeline enterprise")
+        return _fail("--whois is only valid with --pipeline enterprise",
+                     json_mode=args.log_json)
     if enterprise and args.internal_suffix:
         return _fail(
             "--internal-suffix applies to the DNS reduction funnel only "
-            "(enterprise proxy logs arrive pre-joined)"
+            "(enterprise proxy logs arrive pre-joined)",
+            json_mode=args.log_json,
         )
     pattern = args.pattern or ("proxy-*.log" if enterprise else "dns-*.log")
     shared = dict(
@@ -540,6 +622,7 @@ def _run_stream(args) -> int:
         resume=args.resume,
         max_batches=args.max_batches,
         on_update=on_update,
+        metrics=metrics,
     )
     try:
         if enterprise:
@@ -556,7 +639,7 @@ def _run_stream(args) -> int:
                 **shared,
             )
     except (ValueError, OSError, StateError) as exc:
-        return _fail(str(exc))
+        return _fail(str(exc), json_mode=args.log_json)
     all_detected: set[str] = set()
     for report in result.reports:
         print(
@@ -566,6 +649,10 @@ def _run_stream(args) -> int:
             f"detected={report.detected or '-'}"
         )
         all_detected.update(report.detected)
+    if metrics is not None:
+        # Interrupted runs dump their partial snapshot too -- the next
+        # --resume restores it from the checkpoint and keeps counting.
+        _write_metrics(metrics, args.metrics_out)
     if result.interrupted:
         print(
             f"interrupted after {result.batches} micro-batches"
@@ -590,6 +677,7 @@ def _run_fleet(args) -> int:
     )
     from .state import StateError
 
+    metrics = _setup_obs(args)
     try:
         manifest = load_manifest(args.manifest)
         manager = FleetManager.from_manifest(
@@ -600,18 +688,21 @@ def _run_fleet(args) -> int:
             resume=args.resume,
             heartbeat=args.heartbeat,
             window_shards=args.window_shards,
+            metrics=metrics,
         )
         report = manager.run(max_rounds=args.max_rounds)
     except (ManifestError, FleetError, StateError, OSError) as exc:
-        return _fail(str(exc))
+        return _fail(str(exc), json_mode=args.log_json)
     print(report.render())
+    if metrics is not None:
+        _write_metrics(metrics, args.metrics_out)
     if args.json is not None:
         try:
             args.json.write_text(
                 json.dumps(report.as_dict(), indent=1) + "\n"
             )
         except OSError as exc:
-            return _fail(str(exc))
+            return _fail(str(exc), json_mode=args.log_json)
         print(f"\nreport written to {args.json}")
     if report.interrupted:
         print(

@@ -28,6 +28,7 @@ from collections.abc import Callable, Mapping, Sequence, Set
 from dataclasses import dataclass, field
 
 from ..config import BeliefPropagationConfig
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, NULL_METRICS
 from .graph import InfectionGraph, Label
 
 DetectCC = Callable[[str], bool]
@@ -111,6 +112,7 @@ def belief_propagation(
     score_frontier: ScoreFrontier | None = None,
     config: BeliefPropagationConfig | None = None,
     prior: "BeliefPropagationResult | None" = None,
+    metrics=None,
 ) -> BeliefPropagationResult:
     """Run Algorithm 1.
 
@@ -137,6 +139,11 @@ def belief_propagation(
     run over the same graph whenever the scorers are themselves
     monotone in the day's accumulating traffic, while spending
     iterations only on newly labeled domains.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
+    when given, the run records iteration counts, per-iteration
+    frontier sizes and ``score_frontier`` batch timings.  Detection
+    output is byte-identical with or without it.
     """
     if (similarity_score is None) == (score_frontier is None):
         raise TypeError(
@@ -200,9 +207,15 @@ def belief_propagation(
     #: malicious domains already handed to the batch hook as deltas.
     reported: set[str] = set()
 
+    obs = metrics if metrics is not None else NULL_METRICS
+    frontier_hist = obs.histogram(
+        "bp_frontier_size", buckets=DEFAULT_SIZE_BUCKETS
+    )
+
     trace: list[IterationTrace] = []
     for iteration in range(1, config.max_iterations + 1):
         frontier = rare - malicious
+        frontier_hist.observe(len(frontier))
         newly_labeled: set[str] = set()
         cc_found: list[str] = []
 
@@ -220,7 +233,8 @@ def belief_propagation(
             scores: dict[str, float] = {}
             if ordered:
                 delta = malicious - reported
-                batch = score_frontier(ordered, delta)
+                with obs.span("bp_score_batch"):
+                    batch = score_frontier(ordered, delta)
                 reported |= delta
                 # Canonical dict in sorted-frontier order: argmax and
                 # threshold logic below see the same structure whether
@@ -284,6 +298,8 @@ def belief_propagation(
             )
         )
 
+    obs.counter("bp_runs_total").inc()
+    obs.counter("bp_iterations_total").inc(len(trace))
     return BeliefPropagationResult(
         hosts=hosts,
         domains=malicious,

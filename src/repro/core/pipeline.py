@@ -74,6 +74,10 @@ class DayResult:
     intel_seeded: set[str] = field(default_factory=set)
     """Rare domains seeded from shared intelligence (fleet mode)."""
 
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per detection stage (``automation``, ``cc``,
+    ``bp``); always measured, observability only."""
+
     @property
     def cc_domain_names(self) -> set[str]:
         return {scored.domain for scored in self.cc_domains}
@@ -333,6 +337,7 @@ def detect_on_enterprise_traffic(
     soc_seed_domains: Iterable[str] = (),
     intel_domains: Set[str] = frozenset(),
     use_index: bool = True,
+    metrics=None,
 ) -> DayResult:
     """The enterprise-path daily detection stages on one day of traffic.
 
@@ -361,23 +366,31 @@ def detect_on_enterprise_traffic(
     produce identical detections -- the parity the randomized tests
     assert -- including identical WHOIS imputation state evolution.
     """
-    when = (day + 1) * 86_400.0
-    traffic.finalize()
-    series = [
-        (key, times)
-        for key, times in sorted(traffic.timestamps.items())
-        if key[1] in rare
-    ]
-    verdicts = automation.automated_pairs(series)
-    auto_hosts = _automated_hosts_by_domain(verdicts)
+    from ..obs.metrics import NULL_METRICS
 
-    cc_domains: list[ScoredDomain] = []
-    for domain in sorted(auto_hosts):
-        score = cc_scorer.score(domain, traffic, auto_hosts[domain], when)
-        if score >= cc_scorer.threshold:
-            cc_domains.append(ScoredDomain(domain, score))
-    cc_domains.sort(key=lambda s: (-s.score, s.domain))
-    cc_set = {scored.domain for scored in cc_domains}
+    obs = metrics if metrics is not None else NULL_METRICS
+    stage_seconds: dict[str, float] = {}
+    when = (day + 1) * 86_400.0
+    with obs.span("detect_automation") as automation_span:
+        traffic.finalize()
+        series = [
+            (key, times)
+            for key, times in sorted(traffic.timestamps.items())
+            if key[1] in rare
+        ]
+        verdicts = automation.automated_pairs(series)
+        auto_hosts = _automated_hosts_by_domain(verdicts)
+    stage_seconds["automation"] = automation_span.elapsed
+
+    with obs.span("detect_cc") as cc_span:
+        cc_domains: list[ScoredDomain] = []
+        for domain in sorted(auto_hosts):
+            score = cc_scorer.score(domain, traffic, auto_hosts[domain], when)
+            if score >= cc_scorer.threshold:
+                cc_domains.append(ScoredDomain(domain, score))
+        cc_domains.sort(key=lambda s: (-s.score, s.domain))
+        cc_set = {scored.domain for scored in cc_domains}
+    stage_seconds["cc"] = cc_span.elapsed
     intel_seeded = set(intel_domains) & rare
 
     if use_index:
@@ -419,36 +432,44 @@ def detect_on_enterprise_traffic(
         intel_seeded=intel_seeded,
     )
 
-    no_hint_seeds = cc_set | intel_seeded
-    if no_hint_seeds:
-        seed_hosts: set[str] = set()
-        for domain in no_hint_seeds:
-            seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
-        result.no_hint = belief_propagation(
-            seed_hosts,
-            no_hint_seeds,
-            dom_host=dom_host,
-            host_rdom=host_rdom,
-            detect_cc=detect_cc,
-            config=config.belief_propagation,
-            **scoring_kwargs(),
-        )
+    with obs.span("detect_bp") as bp_span:
+        no_hint_seeds = cc_set | intel_seeded
+        if no_hint_seeds:
+            seed_hosts: set[str] = set()
+            for domain in no_hint_seeds:
+                seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+            result.no_hint = belief_propagation(
+                seed_hosts,
+                no_hint_seeds,
+                dom_host=dom_host,
+                host_rdom=host_rdom,
+                detect_cc=detect_cc,
+                config=config.belief_propagation,
+                metrics=metrics,
+                **scoring_kwargs(),
+            )
 
-    soc_seeds = {d for d in soc_seed_domains if d in traffic.hosts_by_domain}
-    if soc_seeds:
-        seed_hosts = set()
-        for domain in soc_seeds:
-            seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
-        result.soc_hints = belief_propagation(
-            seed_hosts,
-            soc_seeds,
-            dom_host=dom_host,
-            host_rdom=host_rdom,
-            detect_cc=detect_cc,
-            config=config.belief_propagation,
-            **scoring_kwargs(),
-        )
+        soc_seeds = {
+            d for d in soc_seed_domains if d in traffic.hosts_by_domain
+        }
+        if soc_seeds:
+            seed_hosts = set()
+            for domain in soc_seeds:
+                seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+            result.soc_hints = belief_propagation(
+                seed_hosts,
+                soc_seeds,
+                dom_host=dom_host,
+                host_rdom=host_rdom,
+                detect_cc=detect_cc,
+                config=config.belief_propagation,
+                metrics=metrics,
+                **scoring_kwargs(),
+            )
+    if no_hint_seeds or soc_seeds:
+        stage_seconds["bp"] = bp_span.elapsed
 
+    result.stage_seconds = stage_seconds
     return result
 
 

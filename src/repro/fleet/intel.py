@@ -64,6 +64,25 @@ class CacheStats:
         self.misses += int(counts.get("misses", 0))
         self.cross_tenant_hits += int(counts.get("cross_tenant_hits", 0))
 
+    def metrics_samples(self, cache: str) -> dict[str, int]:
+        """Counter samples for a metrics-registry collector.
+
+        The plain-int fields stay the hot-path mechanism under the
+        plane's lock; a collector registered via
+        :meth:`repro.obs.MetricsRegistry.add_collector` folds them into
+        every snapshot as
+        ``intel_cache_lookups_total{cache=...,outcome=...}``, so the
+        unified registry serves the intel-cache stats too.
+        """
+        from ..obs.metrics import sample_key
+
+        return {
+            sample_key(
+                "intel_cache_lookups_total", cache=cache, outcome=outcome
+            ): value
+            for outcome, value in self.as_dict().items()
+        }
+
 
 class _TenantCache:
     """Memo cache whose entries remember the inserting tenant."""
@@ -295,6 +314,28 @@ class IntelPlane:
     def board(self) -> dict[str, BoardEntry]:
         with self._lock:
             return dict(self._board)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def bind_metrics(self, metrics) -> None:
+        """Serve this plane's cache stats through a metrics registry.
+
+        Registers one collector sampling both tenant caches (VT and
+        WHOIS) at snapshot time, so ``--metrics-out`` exposition and
+        the plane's own ``CacheStats`` objects stay a single source of
+        truth -- the counters live here, the registry reads them.
+        """
+        if metrics is None or not getattr(metrics, "enabled", False):
+            return
+        metrics.add_collector(self._metrics_samples)
+
+    def _metrics_samples(self) -> dict[str, int]:
+        with self._lock:
+            samples = self.vt_cache.stats.metrics_samples("vt")
+            samples.update(self.whois_cache.stats.metrics_samples("whois"))
+        return samples
 
     # ------------------------------------------------------------------
     # Persistence (fleet checkpoint)

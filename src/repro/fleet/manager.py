@@ -63,6 +63,13 @@ from pathlib import Path
 from typing import Any
 
 from ..config import SystemConfig
+from ..obs.logs import get_logger, log_event
+from ..obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    split_sample_key,
+)
 from ..state import (
     decode_config,
     encode_config,
@@ -97,6 +104,17 @@ SECONDS_PER_DAY = 86_400.0
 
 FLEET_STATE_VERSION = 1
 
+_LOG = get_logger("fleet")
+
+
+#: Per-pool-process metrics registry (process executor only).  Pool
+#: workers persist across round submissions, so tenant counters and
+#: advance spans accumulate here and ship as per-task deltas in the
+#: :func:`_process_worker` return value.  Engines stay uninstrumented
+#: in this mode -- they are rebuilt from checkpoints every round, and
+#: re-registering their collectors each rebuild would leak.
+_POOL_METRICS: MetricsRegistry | None = None
+
 
 def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
     """Advance one tenant one day inside a pool worker process.
@@ -109,6 +127,12 @@ def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
     (:func:`~repro.fleet.workers.load_whois_cached`), since pool
     workers persist across round submissions.
     """
+    global _POOL_METRICS
+    metrics = None
+    if payload.get("metrics"):
+        if _POOL_METRICS is None:
+            _POOL_METRICS = MetricsRegistry()
+        metrics = _POOL_METRICS
     checkpoint_path = Path(payload["checkpoint_path"])
     whois = (
         load_whois_cached(payload["whois_path"])
@@ -142,12 +166,19 @@ def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
         bootstrap=payload["bootstrap"],
         seeds=frozenset(payload["seeds"]),
         pipeline=payload["pipeline"],
+        metrics=metrics,
     )
     report_dict = report.as_dict() if report is not None else None
     _save_tenant_checkpoint(
         detector, checkpoint_path, report_dict, rounds_done + 1
     )
-    return report_dict
+    return {
+        "report": report_dict,
+        "metrics": (
+            metrics.snapshot_delta().as_dict()
+            if metrics is not None else None
+        ),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -171,6 +202,7 @@ class FleetManager:
         heartbeat: float = 5.0,
         full_checkpoint_every: int = 16,
         window_shards: int = 1,
+        metrics=None,
     ) -> None:
         if not specs:
             raise FleetError("fleet needs at least one tenant")
@@ -219,6 +251,11 @@ class FleetManager:
         self.heartbeat = heartbeat
         self.full_checkpoint_every = full_checkpoint_every
         self.window_shards = window_shards
+        #: fleet-wide metrics view: the manager's own counters/spans,
+        #: thread-mode engines' live instruments, and the absorbed
+        #: per-round deltas resident/pool workers ship back.
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.intel.bind_metrics(self.metrics)
         self.engines: dict[str, Any] = {}
         #: per-worker execution stats of the last resident run
         #: (worker id -> tenants, tenant-days, records, busy seconds,
@@ -262,12 +299,14 @@ class FleetManager:
             return StreamingEnterpriseDetector(
                 load_detector(
                     spec.model_state, whois=self._tenant_whois(spec.tenant_id)
-                )
+                ),
+                metrics=self.metrics,
             )
         return StreamingDetector(
             config=self.config,
             internal_suffixes=spec.internal_suffixes,
             server_ips=spec.server_ips,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -299,6 +338,10 @@ class FleetManager:
                 "kind": "fleet",
                 "rounds": rounds,
                 "intel": self.intel.encode(),
+                "metrics": (
+                    self.metrics.snapshot().as_dict()
+                    if self.metrics.enabled else None
+                ),
             },
             self._fleet_state_path(),
         )
@@ -317,6 +360,16 @@ class FleetManager:
             raise FleetError(f"{state_path} is not a fleet checkpoint")
         rounds = int(payload["rounds"])
         self.intel.restore(payload["intel"])
+        saved_metrics = payload.get("metrics")
+        if saved_metrics and self.metrics.enabled:
+            snapshot = MetricsSnapshot.from_dict(saved_metrics)
+            # The intel plane re-serves its restored CacheStats through
+            # the bound collector; dropping the family here keeps the
+            # resumed fleet snapshot from counting those lookups twice.
+            for key in list(snapshot.counters):
+                if split_sample_key(key)[0] == "intel_cache_lookups_total":
+                    del snapshot.counters[key]
+            self.metrics.restore(snapshot)
         cursors: dict[str, int] = {}
         carried: list[tuple[int, TenantDayReport]] = []
         for spec in self.specs:
@@ -329,7 +382,9 @@ class FleetManager:
             cursors[spec.tenant_id] = chain.rounds
             if self.executor == "thread":
                 self.engines[spec.tenant_id] = restore_tenant_chain(
-                    chain, whois=self._tenant_whois(spec.tenant_id)
+                    chain,
+                    whois=self._tenant_whois(spec.tenant_id),
+                    metrics=self.metrics,
                 )
             if chain.rounds > rounds and chain.report:
                 # The tenant finished a round the fleet never committed
@@ -402,6 +457,7 @@ class FleetManager:
                     encode_config(self.config)
                     if self.config is not None else None
                 ),
+                "metrics": self.metrics.enabled,
             })
 
         detector = self.engines[spec.tenant_id]
@@ -410,6 +466,7 @@ class FleetManager:
             report = _advance_one_day(
                 detector, spec.tenant_id, path,
                 bootstrap=bootstrap, seeds=seeds, pipeline=spec.pipeline,
+                metrics=self.metrics,
             )
             if self.checkpoint_dir is not None:
                 _save_tenant_checkpoint(
@@ -439,7 +496,10 @@ class FleetManager:
         :class:`TenantDayReport` after each barrier.
         """
         try:
-            return self._run(max_rounds=max_rounds, on_round=on_round)
+            report = self._run(max_rounds=max_rounds, on_round=on_round)
+            if self.metrics.enabled:
+                report.metrics_snapshot = self.metrics.snapshot().as_dict()
+            return report
         finally:
             if self._transport_dir is not None:
                 self._transport_dir.cleanup()
@@ -498,10 +558,15 @@ class FleetManager:
                         continue
                     result = future.result()
                     cursors[spec.tenant_id] = rnd + 1
+                    if isinstance(result, dict):
+                        # Process-pool envelope: day report plus the
+                        # worker's metrics delta since its last ship.
+                        self._absorb_metrics(result)
+                        result = result.get("report")
+                        if result is not None:
+                            result = TenantDayReport.from_dict(result)
                     if result is None:
                         continue
-                    if isinstance(result, dict):
-                        result = TenantDayReport.from_dict(result)
                     round_reports.append(result)
                 round_reports.extend(
                     rep for c_rnd, rep in carried if c_rnd == rnd
@@ -549,9 +614,24 @@ class FleetManager:
             sorted(round_reports, key=lambda r: r.tenant_id)
         )
         report.rounds = rnd + 1
+        self.metrics.counter("fleet_rounds_total").inc()
+        self.metrics.gauge("fleet_board_domains").set(len(self.intel.board))
         self._save_fleet_state(rnd + 1)
+        log_event(
+            _LOG, "round_committed",
+            round=rnd + 1,
+            tenants=len(round_reports),
+            detected=sum(len(r.detected) for r in round_reports),
+            board=len(self.intel.board),
+        )
         if on_round is not None:
             on_round(round_reports)
+
+    def _absorb_metrics(self, response: dict[str, Any] | None) -> None:
+        """Fold a worker response's metrics delta into the fleet view."""
+        payload = (response or {}).get("metrics")
+        if payload and self.metrics.enabled:
+            self.metrics.absorb(MetricsSnapshot.from_dict(payload))
 
     # ------------------------------------------------------------------
     # Resident executor
@@ -591,6 +671,7 @@ class FleetManager:
             heartbeat=self.heartbeat,
             full_every=self.full_checkpoint_every,
             window_shards=self.window_shards,
+            metrics_enabled=self.metrics.enabled,
         )
         self.resident_pool = pool
         try:
@@ -611,6 +692,9 @@ class FleetManager:
                             "round": rnd,
                             "tasks": tasks,
                         })
+                        self.metrics.counter(
+                            "fleet_commands_total", cmd="advance_day"
+                        ).inc()
                         waiting.append(handle)
                 advanced: list[WorkerHandle] = []
                 for handle in waiting:
@@ -632,9 +716,12 @@ class FleetManager:
                         pool.send(handle, {
                             "cmd": CMD_CHECKPOINT, "round": rnd + 1,
                         })
+                        self.metrics.counter(
+                            "fleet_commands_total", cmd="checkpoint"
+                        ).inc()
                     for handle in advanced:
                         try:
-                            pool.recv(handle)
+                            self._absorb_metrics(pool.recv(handle))
                         except WorkerDied:
                             self._recover_worker(
                                 pool, handle, files, cursors, rnd, results
@@ -658,6 +745,9 @@ class FleetManager:
         revision, entries = self.intel.board_delta(handle.synced_revision)
         if entries:
             pool.send(handle, {"cmd": CMD_INJECT_INTEL, "entries": entries})
+            self.metrics.counter(
+                "fleet_commands_total", cmd="inject_intel"
+            ).inc()
         handle.synced_revision = revision
 
     def _resident_tasks(
@@ -694,6 +784,7 @@ class FleetManager:
         """Fold one worker's ``ADVANCE_DAY`` response into round state."""
         if response is None:
             return
+        self._absorb_metrics(response)
         stats = self.worker_stats.setdefault(handle.worker_id, {
             "tenants": sorted(handle.tenant_ids),
             "tenant_days": 0,
@@ -739,6 +830,7 @@ class FleetManager:
                 "--checkpoint-dir to make worker crashes recoverable"
             )
         handle = pool.respawn(handle)
+        self.metrics.counter("fleet_worker_respawns_total").inc()
         self._sync_board(pool, handle)
         stats = self.worker_stats.setdefault(handle.worker_id, {
             "tenants": sorted(handle.tenant_ids),
@@ -778,5 +870,5 @@ class FleetManager:
             })
             response = pool.recv(handle)
         pool.send(handle, {"cmd": CMD_CHECKPOINT, "round": rnd + 1})
-        pool.recv(handle)
+        self._absorb_metrics(pool.recv(handle))
         return handle, response

@@ -51,6 +51,11 @@ class TenantDayReport:
     fleet throughput benchmark aggregates these into the per-PR
     performance trajectory (``BENCH_perf.json``)."""
 
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per detection stage of the day's rollover
+    (``rare``, ``automation``, ``bp``, ``commit``), from the engine's
+    :class:`~repro.streaming.StreamDayReport`."""
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "tenant_id": self.tenant_id,
@@ -63,6 +68,7 @@ class TenantDayReport:
             "intel_seeded": sorted(self.intel_seeded),
             "scores": dict(self.scores),
             "elapsed_seconds": self.elapsed_seconds,
+            "stage_seconds": dict(self.stage_seconds),
         }
 
     @classmethod
@@ -81,6 +87,12 @@ class TenantDayReport:
                 for domain, score in payload.get("scores", {}).items()
             },
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            stage_seconds={
+                str(stage): float(seconds)
+                for stage, seconds in payload.get(
+                    "stage_seconds", {}
+                ).items()
+            },
         )
 
 
@@ -104,6 +116,14 @@ class FleetReport:
     trained bootstrap)."""
 
     intel: IntelPlane | None = field(default=None, repr=False)
+
+    metrics_snapshot: dict[str, Any] | None = field(
+        default=None, repr=False
+    )
+    """Fleet-wide :meth:`~repro.obs.metrics.MetricsSnapshot.as_dict`
+    document at the end of the run -- the manager's merged view over
+    its own counters and every worker's shipped deltas; ``None`` when
+    the run was not instrumented."""
 
     @property
     def tenant_ids(self) -> list[str]:
@@ -138,6 +158,14 @@ class FleetReport:
     def seeded_detections(self) -> int:
         return sum(len(r.intel_seeded) for r in self.days)
 
+    def stage_totals(self) -> dict[str, float]:
+        """Total seconds per detection stage across every tenant-day."""
+        totals: dict[str, float] = {}
+        for report in self.days:
+            for stage, seconds in report.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
     # ------------------------------------------------------------------
 
     def as_dict(self) -> dict[str, Any]:
@@ -168,7 +196,10 @@ class FleetReport:
                 for domain, facts in sorted(self.whois_facts.items())
             },
             "seeded_detections": self.seeded_detections(),
+            "stage_seconds": self.stage_totals(),
         }
+        if self.metrics_snapshot is not None:
+            payload["metrics"] = self.metrics_snapshot
         if self.intel is not None:
             payload["intel"] = {
                 "vt": self.intel.vt_cache.stats.as_dict(),
@@ -238,6 +269,10 @@ class FleetReport:
                 f"board {len(self.intel.board)} domains, "
                 f"{self.seeded_detections()} seeded detections"
             )
+        # Stage timings stay out of the rendered summary on purpose:
+        # the CLI's output is compared across worker counts by the
+        # parity tests, and wall-clock numbers never reproduce.  The
+        # --json document and the metrics snapshot carry them.
         return "\n".join(lines)
 
 

@@ -43,7 +43,6 @@ from __future__ import annotations
 import json
 import multiprocessing as mp
 import queue
-import time
 from collections.abc import Sequence, Set
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,6 +52,7 @@ from ..config import SystemConfig
 from ..intel.whois_db import WhoisDatabase, load_whois_file
 from ..logs.dns import parse_dns_log
 from ..logs.proxy import parse_proxy_log
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..state import (
     EngineDeltaTracker,
     apply_engine_delta,
@@ -225,6 +225,7 @@ def _advance_one_day(
     seeds: Set[str],
     pipeline: str = "dns",
     window_shards: int = 1,
+    metrics=None,
 ) -> TenantDayReport | None:
     """Feed one log file through a tenant's engine; close the day.
 
@@ -233,14 +234,16 @@ def _advance_one_day(
     :class:`~repro.profiling.index.TrafficIndex` incrementally during
     ingest, and the rollover's belief propagation scores its frontier
     through the index-backed incremental scorers.  The wall-clock cost
-    of the day is reported per tenant for throughput tracking.
+    of the day is timed through an obs span (``worker_advance``), so
+    the per-tenant ``elapsed_seconds`` in the report and the
+    fleet-wide timing histogram come from the same measurement.
 
     ``window_shards > 1`` routes eligible DNS days through
     :func:`_ingest_day_sharded` (aggregation shards merged at the
     barrier); enterprise days and non-empty windows keep the serial
     path.
     """
-    started = time.perf_counter()
+    obs = metrics if metrics is not None else NULL_METRICS
     sharded = (
         window_shards > 1
         and pipeline != "enterprise"
@@ -248,17 +251,25 @@ def _advance_one_day(
         and detector.window.events_today == 0
         and len(detector.bus) == 0
     )
-    with path.open() as handle:
-        if pipeline == "enterprise":
-            detector.submit_raw(parse_proxy_log(handle))
-        elif sharded:
-            _ingest_day_sharded(detector, parse_dns_log(handle), window_shards)
-        else:
-            detector.submit_raw(parse_dns_log(handle))
-    detector.poll()
-    report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
+    with obs.span("worker_advance") as advance_span:
+        with path.open() as handle:
+            if pipeline == "enterprise":
+                detector.submit_raw(parse_proxy_log(handle))
+            elif sharded:
+                _ingest_day_sharded(
+                    detector, parse_dns_log(handle), window_shards
+                )
+            else:
+                detector.submit_raw(parse_dns_log(handle))
+        detector.poll()
+        report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
     if bootstrap:
         return None
+    obs.counter("tenant_days_total", tenant=spec_id).inc()
+    obs.counter("tenant_records_total", tenant=spec_id).inc(report.records)
+    obs.counter("tenant_detected_total", tenant=spec_id).inc(
+        len(report.detected)
+    )
     return TenantDayReport(
         tenant_id=spec_id,
         day=report.day,
@@ -269,7 +280,8 @@ def _advance_one_day(
         detected=list(report.detected),
         intel_seeded=set(report.intel_seeded),
         scores=_scored_detections(report),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=advance_span.elapsed,
+        stage_seconds=dict(report.stage_seconds),
     )
 
 
@@ -395,9 +407,9 @@ def load_tenant_chain(checkpoint_dir: Path, tenant_id: str) -> TenantChain:
     )
 
 
-def restore_tenant_chain(chain: TenantChain, whois=None):
+def restore_tenant_chain(chain: TenantChain, whois=None, metrics=None):
     """Rebuild a streaming engine from its checkpoint chain."""
-    detector = restore_engine(chain.engine, whois=whois)
+    detector = restore_engine(chain.engine, whois=whois, metrics=metrics)
     for delta in chain.deltas:
         apply_engine_delta(detector, delta)
     if chain.deltas:
@@ -479,6 +491,7 @@ def _build_worker_tenant(
     *,
     resume: bool,
     full_every: int,
+    metrics=None,
 ) -> _TenantRuntime:
     """Build (or restore from its chain) one tenant's resident engine.
 
@@ -498,12 +511,15 @@ def _build_worker_tenant(
     )
     if resume and full_path is not None and full_path.exists():
         chain = load_tenant_chain(checkpoint_dir, tenant_id)
-        detector = restore_tenant_chain(chain, whois=whois_view)
+        detector = restore_tenant_chain(
+            chain, whois=whois_view, metrics=metrics
+        )
         cursor, last_report = chain.rounds, chain.report
         since_full: int | None = len(chain.deltas)
     elif tenant["pipeline"] == "enterprise":
         detector = StreamingEnterpriseDetector(
-            load_detector(tenant["model_state"], whois=whois_view)
+            load_detector(tenant["model_state"], whois=whois_view),
+            metrics=metrics,
         )
         cursor, last_report, since_full = 0, None, None
     else:
@@ -514,6 +530,7 @@ def _build_worker_tenant(
             ),
             internal_suffixes=tuple(tenant["internal_suffixes"]),
             server_ips=frozenset(tenant["server_ips"]),
+            metrics=metrics,
         )
         cursor, last_report, since_full = 0, None, None
     store = (
@@ -545,6 +562,13 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
     rather than a silent death, so the manager can distinguish a
     detection failure (fatal, surfaced) from a crashed process
     (respawned).
+
+    When ``init["metrics"]`` is set the worker owns a private
+    :class:`~repro.obs.metrics.MetricsRegistry`; every ``ADVANCE_DAY``
+    and ``CHECKPOINT`` response carries the registry's delta since the
+    previous ship (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot_delta`)
+    for the manager to fold into the fleet-wide view -- the same
+    queue-borne delta pattern as the WHOIS cache accounting.
     """
     try:
         checkpoint_dir = (
@@ -557,6 +581,7 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
         cache = WorkerIntelCache(
             load_whois_cached(init["whois_path"]) if needs_whois else None
         )
+        metrics = MetricsRegistry() if init.get("metrics") else NULL_METRICS
         replica = BoardReplica()
         seeds_reported = 0
         runtimes: dict[str, _TenantRuntime] = {}
@@ -567,6 +592,7 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
                 cache,
                 resume=init["resume"],
                 full_every=init["full_every"],
+                metrics=metrics,
             )
         responses.put({
             "event": "ready",
@@ -602,6 +628,7 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
                         seeds=seeds,
                         pipeline=runtime.pipeline,
                         window_shards=init["window_shards"],
+                        metrics=metrics,
                     )
                     runtime.cursor = rnd + 1
                     runtime.last_report = (
@@ -620,18 +647,27 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
                     "reports": reports,
                     "whois_stats": cache.stats_delta(),
                     "seeds_served": served,
+                    "metrics": (
+                        metrics.snapshot_delta().as_dict()
+                        if metrics.enabled else None
+                    ),
                 })
                 continue
             if cmd == CMD_CHECKPOINT:
-                for runtime in runtimes.values():
-                    if runtime.store is not None:
-                        runtime.store.commit(
-                            runtime.last_report, runtime.cursor
-                        )
+                with metrics.span("worker_checkpoint"):
+                    for runtime in runtimes.values():
+                        if runtime.store is not None:
+                            runtime.store.commit(
+                                runtime.last_report, runtime.cursor
+                            )
                 responses.put({
                     "event": "checkpointed",
                     "worker": worker_id,
                     "round": message.get("round"),
+                    "metrics": (
+                        metrics.snapshot_delta().as_dict()
+                        if metrics.enabled else None
+                    ),
                 })
                 continue
             responses.put({
@@ -696,6 +732,7 @@ class ResidentPool:
         heartbeat: float = 5.0,
         full_every: int = 16,
         window_shards: int = 1,
+        metrics_enabled: bool = False,
     ) -> None:
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -705,6 +742,7 @@ class ResidentPool:
         self.heartbeat = heartbeat
         self.full_every = full_every
         self.window_shards = window_shards
+        self.metrics_enabled = metrics_enabled
         count = max(1, min(workers, len(specs)))
         self._assignment: list[list[TenantSpec]] = [
             list(specs[i::count]) for i in range(count)
@@ -735,6 +773,7 @@ class ResidentPool:
             "resume": resume,
             "full_every": self.full_every,
             "window_shards": self.window_shards,
+            "metrics": self.metrics_enabled,
             "tenants": [
                 {
                     "tenant_id": spec.tenant_id,

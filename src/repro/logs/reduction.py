@@ -19,6 +19,7 @@ from collections import defaultdict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
+from ..obs.metrics import NULL_METRICS
 from .dns import is_a_record, is_external_query, is_from_client
 from .domains import fold_domain
 from .records import DnsRecord
@@ -79,11 +80,57 @@ class ReductionFunnel:
         server_ips: frozenset[str] = frozenset(),
         *,
         fold_level: int = 3,
+        metrics=None,
     ) -> None:
         self.internal_suffixes = internal_suffixes
         self.server_ips = server_ips
         self.fold_level = fold_level
         self.stats = ReductionStats()
+        # Counters are resolved once here, but the per-record hot path
+        # never touches them: increments accumulate in plain ints and
+        # flush in bulk every ``_FLUSH_EVERY`` records (and at the end
+        # of each ``reduce`` pass), so a registry lock is taken a
+        # handful of times per day instead of once per record
+        # (``metrics`` is an optional repro.obs.MetricsRegistry).
+        obs = metrics if metrics is not None else NULL_METRICS
+        self._seen_counter = obs.counter("reduction_records_total")
+        self._kept_counter = obs.counter(
+            "reduction_kept_total", stage="filter_internal_servers"
+        )
+        self._drop_counters = {
+            "a_records": obs.counter(
+                "reduction_dropped_total", stage="non_a_record"
+            ),
+            "internal_query": obs.counter(
+                "reduction_dropped_total", stage="internal_query"
+            ),
+            "internal_server": obs.counter(
+                "reduction_dropped_total", stage="internal_server"
+            ),
+        }
+        self._pending_seen = 0
+        self._pending_kept = 0
+        self._pending_drops = dict.fromkeys(self._drop_counters, 0)
+
+    _FLUSH_EVERY = 4096
+
+    def flush_metrics(self) -> None:
+        """Fold the locally accumulated counts into the registry.
+
+        Called automatically on the flush cadence and when a ``reduce``
+        pass is exhausted; snapshots taken at day/round barriers are
+        therefore exact.
+        """
+        if self._pending_seen:
+            self._seen_counter.inc(self._pending_seen)
+            self._pending_seen = 0
+        if self._pending_kept:
+            self._kept_counter.inc(self._pending_kept)
+            self._pending_kept = 0
+        for stage, pending in self._pending_drops.items():
+            if pending:
+                self._drop_counters[stage].inc(pending)
+                self._pending_drops[stage] = 0
 
     def reduce_record(self, record: DnsRecord) -> DnsRecord | None:
         """Run one record through the filters; ``None`` when dropped.
@@ -95,23 +142,33 @@ class ReductionFunnel:
         day = int(record.timestamp // SECONDS_PER_DAY)
         domain = fold_domain(record.domain, self.fold_level)
         self.stats.observe("all", day, domain)
+        self._pending_seen += 1
+        if self._pending_seen >= self._FLUSH_EVERY:
+            self.flush_metrics()
         if not is_a_record(record):
+            self._pending_drops["a_records"] += 1
             return None
         self.stats.observe("a_records", day, domain)
         if not is_external_query(record, self.internal_suffixes):
+            self._pending_drops["internal_query"] += 1
             return None
         self.stats.observe("filter_internal_queries", day, domain)
         if not is_from_client(record, self.server_ips):
+            self._pending_drops["internal_server"] += 1
             return None
         self.stats.observe("filter_internal_servers", day, domain)
+        self._pending_kept += 1
         return record
 
     def reduce(self, records: Iterable[DnsRecord]) -> Iterator[DnsRecord]:
         """Yield records surviving all filters, updating the counters."""
-        for record in records:
-            kept = self.reduce_record(record)
-            if kept is not None:
-                yield kept
+        try:
+            for record in records:
+                kept = self.reduce_record(record)
+                if kept is not None:
+                    yield kept
+        finally:
+            self.flush_metrics()
 
     def observe_profiling_step(self, step: str, day: int, domains: Iterable[str]) -> None:
         """Record domains surviving a downstream profiling step.

@@ -1,0 +1,42 @@
+"""Observability plane: metrics registry, stage spans, structured logs.
+
+One mechanism for every counter and timer in the reproduction.  The
+streaming engines, the fleet manager and resident workers, the CLI
+and the benchmarks all talk to a :class:`MetricsRegistry` (or the
+free :data:`NULL_METRICS` stand-in when observability is off), and
+everything merges into a single fleet-wide
+:class:`MetricsSnapshot` — see :mod:`repro.obs.metrics` for the
+algebra and :mod:`repro.obs.logs` for the JSON-lines event logger.
+"""
+
+from repro.obs.logs import (
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+)
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    Span,
+    sample_key,
+)
+
+__all__ = [
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "JsonLinesFormatter",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NullRegistry",
+    "Span",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "sample_key",
+]

@@ -1,0 +1,120 @@
+"""Opt-in structured logging: one JSON object (or text line) per event.
+
+Built on stdlib :mod:`logging` so the repo stays dependency-free and
+host applications can re-route the ``repro`` logger hierarchy however
+they like.  Nothing is emitted until :func:`configure_logging` runs
+(the root ``repro`` logger carries a ``NullHandler``), so library use
+stays silent by default — the CLI turns it on behind ``--log-level``
+and ``--log-json``.
+
+Events are key-value structured: :func:`log_event` attaches its fields
+to the record, and :class:`JsonLinesFormatter` renders
+``{"ts": ..., "level": ..., "logger": ..., "event": ..., **fields}``
+one object per line — greppable, ``jq``-able, and stable enough for a
+SOC to tail.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO
+
+__all__ = [
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_event",
+]
+
+ROOT_LOGGER = "repro"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render each record as one JSON object on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """JSON-encode the record (message, event fields, exceptions)."""
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "event", None) or record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = str(record.exc_info[1])
+        return json.dumps(payload, sort_keys=False, default=str)
+
+
+class _TextFormatter(logging.Formatter):
+    """Human-oriented one-liner: time, level, event, k=v fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(record.created)
+        )
+        event = getattr(record, "event", None) or record.getMessage()
+        parts = [stamp, record.levelname.lower(), event]
+        fields = getattr(record, "fields", None)
+        if fields:
+            parts.extend(f"{k}={v}" for k, v in fields.items())
+        return " ".join(str(p) for p in parts)
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_mode: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger hierarchy.
+
+    Idempotent per process: a prior configured handler is replaced, so
+    repeated CLI invocations in one interpreter (tests) don't stack
+    handlers.  Returns the root ``repro`` logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonLinesFormatter() if json_mode else _TextFormatter()
+    )
+    handler.set_name("repro-obs")
+    for existing in list(root.handlers):
+        if existing.get_name() == "repro-obs":
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(
+        f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER
+    )
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Emit one structured event if the logger is enabled for it.
+
+    The ``isEnabledFor`` guard keeps disabled logging to a dict lookup
+    on hot-ish paths (day rollovers, fleet rounds — never per event).
+    """
+    if logger.isEnabledFor(level):
+        logger.log(
+            level, event, extra={"event": event, "fields": fields}
+        )

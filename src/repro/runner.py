@@ -31,6 +31,7 @@ from .core.scoring import (
 from .logs.dns import parse_dns_log
 from .logs.normalize import normalize_dns_records
 from .logs.reduction import ReductionFunnel
+from .obs.metrics import NULL_METRICS
 from .profiling.history import DestinationHistory
 from .profiling.rare import DailyTraffic, extract_rare_domains, rare_domains_by_host
 from .timing.detector import AutomationDetector
@@ -59,6 +60,9 @@ class DayDetection:
     intel_seeded: set[str] = field(default_factory=set)
     """Rare domains seeded from shared intelligence (fleet mode)."""
 
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per detection stage (``automation``, ``bp``)."""
+
 
 def detect_on_traffic(
     traffic: DailyTraffic,
@@ -70,6 +74,7 @@ def detect_on_traffic(
     hint_hosts: Sequence[str] = (),
     intel_domains: Set[str] = frozenset(),
     use_index: bool = True,
+    metrics=None,
 ) -> DayDetection:
     """The DNS-path daily detection stages on one day of traffic.
 
@@ -95,18 +100,26 @@ def detect_on_traffic(
     loops.  Both produce identical detections (the parity the
     randomized tests and ``bench_bp_scale`` assert) -- the flag exists
     for those comparisons.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
+    stage timings are always measured (they feed the returned
+    ``stage_seconds``) but recorded into histograms only when given.
     """
-    series = [
-        (key, times)
-        for key, times in sorted(traffic.timestamps.items())
-        if key[1] in rare
-    ]
-    verdicts = automation.automated_pairs(series)
-    verdicts_by_domain = group_verdicts_by_domain(verdicts)
-    cc = {
-        domain for domain, domain_verdicts in verdicts_by_domain.items()
-        if multi_host_beacon_heuristic(domain, domain_verdicts, traffic)
-    }
+    obs = metrics if metrics is not None else NULL_METRICS
+    stage_seconds: dict[str, float] = {}
+    with obs.span("detect_automation") as automation_span:
+        series = [
+            (key, times)
+            for key, times in sorted(traffic.timestamps.items())
+            if key[1] in rare
+        ]
+        verdicts = automation.automated_pairs(series)
+        verdicts_by_domain = group_verdicts_by_domain(verdicts)
+        cc = {
+            domain for domain, domain_verdicts in verdicts_by_domain.items()
+            if multi_host_beacon_heuristic(domain, domain_verdicts, traffic)
+        }
+    stage_seconds["automation"] = automation_span.elapsed
     intel_seeded = set(intel_domains) & rare
 
     seed_hosts: set[str] = set(hint_hosts)
@@ -138,21 +151,25 @@ def detect_on_traffic(
                 "similarity_score":
                     lambda dom, mal: scorer.score(dom, mal, traffic),
             }
-        bp_result = belief_propagation(
-            seed_hosts,
-            seed_domains,
-            dom_host=dom_host,
-            host_rdom=host_rdom,
-            detect_cc=lambda dom: dom in cc,
-            config=config.belief_propagation,
-            **scoring,
-        )
+        with obs.span("detect_bp") as bp_span:
+            bp_result = belief_propagation(
+                seed_hosts,
+                seed_domains,
+                dom_host=dom_host,
+                host_rdom=host_rdom,
+                detect_cc=lambda dom: dom in cc,
+                config=config.belief_propagation,
+                metrics=metrics,
+                **scoring,
+            )
+        stage_seconds["bp"] = bp_span.elapsed
         detected = sorted(seed_domains) + bp_result.detected_domains
     return DayDetection(
         cc_domains=cc,
         detected=detected,
         bp_result=bp_result,
         intel_seeded=intel_seeded,
+        stage_seconds=stage_seconds,
     )
 
 
@@ -170,15 +187,19 @@ class DnsLogRunner:
     internal_suffixes: tuple[str, ...] = ()
     server_ips: frozenset[str] = frozenset()
     history: DestinationHistory = field(default_factory=DestinationHistory)
+    metrics: object = None
     _day_counter: int = 0
 
     def __post_init__(self) -> None:
+        if self.metrics is None:
+            self.metrics = NULL_METRICS
         self.automation = AutomationDetector(self.config.histogram)
         self.scorer = AdditiveSimilarityScorer()
         self.funnel = ReductionFunnel(
             self.internal_suffixes,
             self.server_ips,
             fold_level=self.config.rarity.fold_level,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------
@@ -230,7 +251,9 @@ class DnsLogRunner:
             scorer=self.scorer,
             config=self.config,
             hint_hosts=hint_hosts,
+            metrics=self.metrics,
         )
+        self.metrics.counter("runner_days_total").inc()
         report = RunnerDayReport(
             path=path,
             day=self._day_counter,
@@ -252,6 +275,7 @@ def run_directory(
     config: SystemConfig | None = None,
     internal_suffixes: tuple[str, ...] = (),
     server_ips: frozenset[str] = frozenset(),
+    metrics=None,
 ) -> list[RunnerDayReport]:
     """Bootstrap on the first ``bootstrap_files`` logs in a directory
     (sorted by name) and detect on the rest."""
@@ -265,6 +289,7 @@ def run_directory(
         config=config or LANL_CONFIG,
         internal_suffixes=internal_suffixes,
         server_ips=server_ips,
+        metrics=metrics,
     )
     runner.bootstrap(paths[:bootstrap_files])
     return [runner.process(path) for path in paths[bootstrap_files:]]

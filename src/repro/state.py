@@ -288,14 +288,40 @@ def decode_window(window, payload: dict[str, Any]) -> None:
         traffic.rare_ua_hosts[domain] = set(hosts)
 
 
-def streaming_state(detector) -> dict[str, Any]:
+def encode_metrics(detector) -> dict[str, Any] | None:
+    """The engine's metrics snapshot, or ``None`` when metrics are off.
+
+    Only meaningful when the engine *owns* its registry (the
+    single-engine ``stream`` path); fleet checkpoints pass
+    ``include_metrics=False`` because their engines share one
+    registry per worker and re-absorbing it per tenant would double
+    count -- the fleet-wide snapshot rides in the fleet state instead.
+    """
+    metrics = getattr(detector, "metrics", None)
+    if metrics is None or not metrics.enabled:
+        return None
+    return metrics.snapshot().as_dict()
+
+
+def _restore_metrics(payload: dict[str, Any], metrics) -> None:
+    """Seed a restored engine's registry from its checkpoint snapshot."""
+    snapshot = payload.get("metrics")
+    if snapshot and metrics is not None and metrics.enabled:
+        from .obs.metrics import MetricsSnapshot
+
+        metrics.restore(MetricsSnapshot.from_dict(snapshot))
+
+
+def streaming_state(detector, *, include_metrics: bool = True) -> dict[str, Any]:
     """Full JSON-serializable snapshot of a streaming detector.
 
     Extends the version-1 detector document with the ``"streaming"``
     kind: long-lived histories plus the in-flight day window and the
     previous belief-propagation round, so a restore resumes mid-day
     with warm-start intact.  The reduction funnel's Figure 2 counters
-    are observability, not detection state, and are not snapshotted.
+    are observability, not detection state, and are not snapshotted;
+    the metrics registry's snapshot *is* (when enabled and
+    ``include_metrics``), so counters survive a checkpoint restart.
 
     Events still queued on the bus are not part of the snapshot;
     callers must drain them (:meth:`StreamingDetector.poll`) first or
@@ -331,11 +357,17 @@ def streaming_state(detector) -> dict[str, Any]:
             "enabled": detector.warm.enabled,
             "full_recompute_fraction": detector.warm.full_recompute_fraction,
         },
+        "metrics": encode_metrics(detector) if include_metrics else None,
     }
 
 
-def restore_streaming(payload: dict[str, Any]):
-    """Rebuild a :class:`~repro.streaming.StreamingDetector` snapshot."""
+def restore_streaming(payload: dict[str, Any], *, metrics=None):
+    """Rebuild a :class:`~repro.streaming.StreamingDetector` snapshot.
+
+    ``metrics`` attaches a :class:`repro.obs.MetricsRegistry` to the
+    restored engine; a checkpointed metrics snapshot (if any) is
+    folded into it so counters continue across the restart.
+    """
     from .streaming import StreamingDetector, WarmStartConfig
 
     version = payload.get("version")
@@ -362,11 +394,13 @@ def restore_streaming(payload: dict[str, Any]):
                 payload["warm"]["full_recompute_fraction"]
             ),
         ),
+        metrics=metrics,
     )
     decode_window(detector.window, payload["window"])
     if payload["prior"] is not None:
         detector.prior = decode_bp_result(payload["prior"])
     detector.events_total = int(payload["events_total"])
+    _restore_metrics(payload, metrics)
     detector.resync()
     return detector
 
@@ -375,7 +409,9 @@ def restore_streaming(payload: dict[str, Any]):
 # Streaming enterprise checkpoint (trained models + mid-day window)
 # ---------------------------------------------------------------------------
 
-def streaming_enterprise_state(detector) -> dict[str, Any]:
+def streaming_enterprise_state(
+    detector, *, include_metrics: bool = True
+) -> dict[str, Any]:
     """Snapshot of a :class:`~repro.streaming.StreamingEnterpriseDetector`.
 
     Wraps the trained batch detector's document (config, histories,
@@ -416,10 +452,13 @@ def streaming_enterprise_state(detector) -> dict[str, Any]:
             }
             if whois is not None else None
         ),
+        "metrics": encode_metrics(detector) if include_metrics else None,
     }
 
 
-def restore_streaming_enterprise(payload: dict[str, Any], whois=None):
+def restore_streaming_enterprise(
+    payload: dict[str, Any], whois=None, *, metrics=None
+):
     """Rebuild a streaming enterprise detector from its snapshot.
 
     ``whois`` re-attaches the external registration registry (not part
@@ -448,7 +487,9 @@ def restore_streaming_enterprise(payload: dict[str, Any], whois=None):
                 payload["warm"]["full_recompute_fraction"]
             ),
         ),
+        metrics=metrics,
     )
+    _restore_metrics(payload, metrics)
     decode_window(detector.window, payload["window"])
     if payload["prior"] is not None:
         detector.prior = decode_bp_result(payload["prior"])
@@ -478,9 +519,11 @@ def save_streaming_enterprise(detector, path: str | Path) -> None:
     save_json_atomic(streaming_enterprise_state(detector), path)
 
 
-def load_streaming_enterprise(path: str | Path, whois=None):
+def load_streaming_enterprise(path: str | Path, whois=None, *, metrics=None):
     """Restore a checkpoint saved with :func:`save_streaming_enterprise`."""
-    return restore_streaming_enterprise(load_json(path), whois=whois)
+    return restore_streaming_enterprise(
+        load_json(path), whois=whois, metrics=metrics
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -488,22 +531,30 @@ def load_streaming_enterprise(path: str | Path, whois=None):
 # ---------------------------------------------------------------------------
 
 def encode_engine(engine) -> dict[str, Any]:
-    """Snapshot a streaming engine of either pipeline (kind-tagged)."""
+    """Snapshot a streaming engine of either pipeline (kind-tagged).
+
+    Fleet checkpoints never embed metrics snapshots: fleet engines
+    share one registry per worker process, so per-tenant snapshots
+    would multiply the shared counters on restore.  The fleet-wide
+    metrics snapshot is persisted in the fleet state instead.
+    """
     from .streaming import StreamingEnterpriseDetector
 
     if isinstance(engine, StreamingEnterpriseDetector):
-        return streaming_enterprise_state(engine)
-    return streaming_state(engine)
+        return streaming_enterprise_state(engine, include_metrics=False)
+    return streaming_state(engine, include_metrics=False)
 
 
-def restore_engine(payload: dict[str, Any], whois=None):
+def restore_engine(payload: dict[str, Any], whois=None, *, metrics=None):
     """Rebuild a streaming engine from :func:`encode_engine` output,
     dispatching on the snapshot's ``kind`` tag."""
     kind = payload.get("kind")
     if kind == "streaming-enterprise":
-        return restore_streaming_enterprise(payload, whois=whois)
+        return restore_streaming_enterprise(
+            payload, whois=whois, metrics=metrics
+        )
     if kind == "streaming":
-        return restore_streaming(payload)
+        return restore_streaming(payload, metrics=metrics)
     raise StateError(f"not a streaming engine checkpoint (kind={kind!r})")
 
 
@@ -690,9 +741,9 @@ def save_streaming(detector, path: str | Path) -> None:
     save_json_atomic(streaming_state(detector), path)
 
 
-def load_streaming(path: str | Path):
+def load_streaming(path: str | Path, *, metrics=None):
     """Restore a checkpoint previously saved with :func:`save_streaming`."""
-    return restore_streaming(load_json(path))
+    return restore_streaming(load_json(path), metrics=metrics)
 
 
 def save_detector(detector: EnterpriseDetector, path: str | Path) -> None:

@@ -94,6 +94,10 @@ class StreamDayReport:
     belief-propagation modes, scored C&C domains); ``None`` on the
     DNS path."""
 
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per rollover stage (``rare``, ``automation``,
+    ``bp``, ``commit``); always measured, observability only."""
+
 
 class StreamingDetector(StreamingEngineBase):
     """Online DNS-path detector with checkpointable mid-day state."""
@@ -108,6 +112,7 @@ class StreamingDetector(StreamingEngineBase):
         ua_history: UserAgentHistory | None = None,
         warm: WarmStartConfig | None = None,
         n_shards: int = 4,
+        metrics=None,
     ) -> None:
         self.config = config or LANL_CONFIG
         self.internal_suffixes = internal_suffixes
@@ -116,6 +121,7 @@ class StreamingDetector(StreamingEngineBase):
             internal_suffixes,
             server_ips,
             fold_level=self.config.rarity.fold_level,
+            metrics=metrics,
         )
         self.scorer = AdditiveSimilarityScorer()
         super().__init__(
@@ -125,6 +131,7 @@ class StreamingDetector(StreamingEngineBase):
             ua_history=ua_history,
             warm=warm,
             n_shards=n_shards,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------
@@ -179,6 +186,9 @@ class StreamingDetector(StreamingEngineBase):
 
         if not seed_hosts and self.prior is None:
             self.graph.clear_dirty()
+            self.metrics.counter(
+                "stream_score_rounds_total", mode="idle"
+            ).inc()
             return StreamUpdate(
                 day=self.window.day,
                 events_today=self.window.events_today,
@@ -189,16 +199,19 @@ class StreamingDetector(StreamingEngineBase):
             )
 
         incremental = IncrementalAdditiveScorer(self.scorer, traffic)
-        result, mode = warm_start_belief_propagation(
-            seed_hosts,
-            seed_domains,
-            graph=self.graph,
-            detect_cc=lambda dom: dom in cc,
-            score_frontier=incremental.score_frontier,
-            config=self.config,
-            prior=self.prior,
-            warm=self.warm,
-        )
+        with self.metrics.span("stream_score"):
+            result, mode = warm_start_belief_propagation(
+                seed_hosts,
+                seed_domains,
+                graph=self.graph,
+                detect_cc=lambda dom: dom in cc,
+                score_frontier=incremental.score_frontier,
+                config=self.config,
+                prior=self.prior,
+                warm=self.warm,
+                metrics=self.metrics,
+            )
+        self.metrics.counter("stream_score_rounds_total", mode=mode).inc()
         self.prior = result
         detected = sorted(seed_domains) + [
             d for d in result.detected_domains if d not in seed_domains
@@ -238,13 +251,16 @@ class StreamingDetector(StreamingEngineBase):
         intel plane); those that are rare today seed belief propagation
         directly -- see :func:`repro.runner.detect_on_traffic`.
         """
-        traffic = self.window.traffic
-        traffic.finalize()
-        rare = extract_rare_domains(
-            traffic,
-            self.history,
-            unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
-        )
+        stage_seconds: dict[str, float] = {}
+        with self.metrics.span("rollover_rare") as rare_span:
+            traffic = self.window.traffic
+            traffic.finalize()
+            rare = extract_rare_domains(
+                traffic,
+                self.history,
+                unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
+            )
+        stage_seconds["rare"] = rare_span.elapsed
         if detect:
             detection = detect_on_traffic(
                 traffic,
@@ -254,7 +270,9 @@ class StreamingDetector(StreamingEngineBase):
                 config=self.config,
                 hint_hosts=hint_hosts,
                 intel_domains=intel_domains,
+                metrics=self.metrics,
             )
+            stage_seconds.update(detection.stage_seconds)
             report = StreamDayReport(
                 day=self.window.day,
                 records=self.window.events_today,
@@ -264,6 +282,9 @@ class StreamingDetector(StreamingEngineBase):
                 bp_result=detection.bp_result,
                 intel_seeded=detection.intel_seeded,
             )
+            self.metrics.counter("stream_detections_total").inc(
+                len(detection.detected)
+            )
         else:
             report = StreamDayReport(
                 day=self.window.day,
@@ -272,7 +293,11 @@ class StreamingDetector(StreamingEngineBase):
                 cc_domains=set(),
                 detected=[],
             )
-        self._reset_day()
+        with self.metrics.span("rollover_commit") as commit_span:
+            self._reset_day()
+        stage_seconds["commit"] = commit_span.elapsed
+        report.stage_seconds = stage_seconds
+        self.metrics.counter("stream_days_total").inc()
         return report
 
     # ------------------------------------------------------------------
@@ -309,6 +334,7 @@ def replay_directory(
     resume: bool = False,
     max_batches: int | None = None,
     on_update=None,
+    metrics=None,
 ) -> ReplayResult:
     """Replay a directory of daily DNS logs as an event stream.
 
@@ -337,7 +363,7 @@ def replay_directory(
         if checkpoint_path is None:
             raise ValueError("resume requires a checkpoint path")
         if Path(checkpoint_path).exists():
-            detector = load_streaming(checkpoint_path)
+            detector = load_streaming(checkpoint_path, metrics=metrics)
             # Detection config and histories come from the checkpoint
             # (they define what the stream has already seen); the
             # warm-start policy is the operator's current choice.
@@ -349,6 +375,7 @@ def replay_directory(
             internal_suffixes=internal_suffixes,
             server_ips=server_ips,
             warm=warm,
+            metrics=metrics,
         )
 
     def open_events(path: Path):

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..logs.records import Connection
+from ..obs.logs import get_logger, log_event
+from ..obs.metrics import NULL_METRICS
 from ..profiling.history import DestinationHistory
 from ..profiling.ua import UserAgentHistory
 from ..timing.detector import AutomationDetector, AutomationVerdict
@@ -36,6 +38,8 @@ from .events import EventBus, micro_batches
 from .incremental import IncrementalGraph, WarmStartConfig
 from .verdicts import SeriesVerdictCache, VerdictCacheStats
 from .window import WindowedAggregator
+
+_LOG = get_logger("stream")
 
 
 class StreamingEngineBase:
@@ -59,7 +63,9 @@ class StreamingEngineBase:
         warm: WarmStartConfig | None = None,
         n_shards: int = 4,
         start_day: int = 0,
+        metrics=None,
     ) -> None:
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.history = history
         self.automation = automation
         self.window = WindowedAggregator(
@@ -77,6 +83,11 @@ class StreamingEngineBase:
         self._series_cache = SeriesVerdictCache(self.automation)
         self._pending_times: dict[tuple[str, str], list[float]] = {}
         self.events_total = 0
+        # Unified registry: the verdict cache's plain-int skip/test
+        # counters are sampled into every metrics snapshot.
+        self.metrics.add_collector(self._series_cache.stats.metrics_samples)
+        self._events_counter = self.metrics.counter("stream_events_total")
+        self._polls_counter = self.metrics.counter("stream_polls_total")
 
     @property
     def verdict_stats(self) -> VerdictCacheStats:
@@ -95,7 +106,10 @@ class StreamingEngineBase:
         """Drain the bus into the window; returns events consumed."""
         batch = self.bus.drain(max_events=max_events)
         if batch:
-            self._ingest(batch)
+            self._polls_counter.inc()
+            self._events_counter.inc(len(batch))
+            with self.metrics.span("stream_ingest"):
+                self._ingest(batch)
         return len(batch)
 
     def ingest(self, connections: Iterable[Connection]) -> int:
@@ -169,7 +183,8 @@ class StreamingEngineBase:
     def _reset_day(self) -> None:
         """Close the window (committing histories once) and clear all
         per-day derived state for the next day."""
-        self.window.rollover()
+        with self.metrics.span("window_rollover"):
+            self.window.rollover()
         self.graph.clear()
         self.prior = None
         self._verdicts.clear()
@@ -282,6 +297,16 @@ def drive_replay(
                 result.interrupted = True
                 return result
         report = detector.rollover(detect=not is_bootstrap)
+        log_event(
+            _LOG,
+            "day_rollover",
+            day=report.day,
+            file=path.name,
+            records=report.records,
+            rare=len(report.rare_domains),
+            detected=len(report.detected),
+            bootstrap=is_bootstrap,
+        )
         if not is_bootstrap:
             result.reports.append(report)
         checkpoint()

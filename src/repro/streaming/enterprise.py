@@ -105,6 +105,7 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
         start_day: int | None = None,
         warm: WarmStartConfig | None = None,
         n_shards: int = 4,
+        metrics=None,
     ) -> None:
         if detector.cc_scorer is None or detector.similarity_scorer is None:
             raise RuntimeError(
@@ -125,6 +126,7 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
             warm=warm,
             n_shards=n_shards,
             start_day=start_day,
+            metrics=metrics,
         )
 
     # Convenience views onto the wrapped trained detector.
@@ -206,6 +208,9 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
 
             if not seed_hosts and self.prior is None:
                 self.graph.clear_dirty()
+                self.metrics.counter(
+                    "stream_score_rounds_total", mode="idle"
+                ).inc()
                 return StreamUpdate(
                     day=self.window.day,
                     events_today=self.window.events_today,
@@ -218,16 +223,19 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
             batched = BatchedSimilarityScorer(
                 self.similarity_scorer, traffic, when
             )
-            result, mode = warm_start_belief_propagation(
-                seed_hosts,
-                set(cc),
-                graph=self.graph,
-                detect_cc=lambda dom: dom in cc,
-                score_frontier=batched.score_frontier,
-                config=self.config,
-                prior=self.prior,
-                warm=self.warm,
-            )
+            with self.metrics.span("stream_score"):
+                result, mode = warm_start_belief_propagation(
+                    seed_hosts,
+                    set(cc),
+                    graph=self.graph,
+                    detect_cc=lambda dom: dom in cc,
+                    score_frontier=batched.score_frontier,
+                    config=self.config,
+                    prior=self.prior,
+                    warm=self.warm,
+                    metrics=self.metrics,
+                )
+        self.metrics.counter("stream_score_rounds_total", mode=mode).inc()
         self.prior = result
         detected = sorted(cc) + [
             d for d in result.detected_domains if d not in cc
@@ -262,13 +270,16 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
         produces for the same connections.  Histories commit exactly
         once, in :meth:`WindowedAggregator.rollover`.
         """
-        traffic = self.window.traffic
-        traffic.finalize()
-        rare = extract_rare_domains(
-            traffic,
-            self.history,
-            unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
-        )
+        stage_seconds: dict[str, float] = {}
+        with self.metrics.span("rollover_rare") as rare_span:
+            traffic = self.window.traffic
+            traffic.finalize()
+            rare = extract_rare_domains(
+                traffic,
+                self.history,
+                unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
+            )
+        stage_seconds["rare"] = rare_span.elapsed
         if detect:
             result = detect_on_enterprise_traffic(
                 traffic,
@@ -280,7 +291,9 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
                 config=self.config,
                 soc_seed_domains=soc_seed_domains,
                 intel_domains=intel_domains,
+                metrics=self.metrics,
             )
+            stage_seconds.update(result.stage_seconds)
             seeds = result.cc_domain_names | result.intel_seeded
             detected = sorted(seeds)
             if result.no_hint is not None:
@@ -303,6 +316,9 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
                 intel_seeded=result.intel_seeded,
                 day_result=result,
             )
+            self.metrics.counter("stream_detections_total").inc(
+                len(detected)
+            )
         else:
             report = StreamDayReport(
                 day=self.window.day,
@@ -311,7 +327,11 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
                 cc_domains=set(),
                 detected=[],
             )
-        self._reset_day()
+        with self.metrics.span("rollover_commit") as commit_span:
+            self._reset_day()
+        stage_seconds["commit"] = commit_span.elapsed
+        report.stage_seconds = stage_seconds
+        self.metrics.counter("stream_days_total").inc()
         return report
 
 
@@ -334,6 +354,7 @@ def replay_enterprise_directory(
     resume: bool = False,
     max_batches: int | None = None,
     on_update=None,
+    metrics=None,
 ) -> ReplayResult:
     """Replay a directory of daily proxy logs as an event stream.
 
@@ -366,12 +387,16 @@ def replay_enterprise_directory(
         if checkpoint_path is None:
             raise ValueError("resume requires a checkpoint path")
         if Path(checkpoint_path).exists():
-            detector = load_streaming_enterprise(checkpoint_path, whois=whois)
+            detector = load_streaming_enterprise(
+                checkpoint_path, whois=whois, metrics=metrics
+            )
             if warm is not None:
                 detector.warm = warm
     if detector is None:
         detector = StreamingEnterpriseDetector(
-            load_detector(model_state, whois=whois), warm=warm
+            load_detector(model_state, whois=whois),
+            warm=warm,
+            metrics=metrics,
         )
 
     def open_events(path: Path):

@@ -127,6 +127,7 @@ def warm_start_belief_propagation(
     config: SystemConfig,
     prior: BeliefPropagationResult | None = None,
     warm: WarmStartConfig | None = None,
+    metrics=None,
 ) -> tuple[BeliefPropagationResult, str]:
     """Run Algorithm 1 over the incremental graph, warm when safe.
 
@@ -159,6 +160,7 @@ def warm_start_belief_propagation(
         score_frontier=score_frontier,
         config=config.belief_propagation,
         prior=prior if use_warm else None,
+        metrics=metrics,
     )
     graph.clear_dirty()
     return result, "warm" if use_warm else "full"

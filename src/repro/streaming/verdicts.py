@@ -75,6 +75,22 @@ class VerdictCacheStats:
             "not_rare_skips": self.not_rare_skips,
         }
 
+    def metrics_samples(self) -> dict[str, int]:
+        """Counter samples for a metrics-registry collector.
+
+        The plain-int fields stay the hot-path mechanism (no lock per
+        skip); registering this method with
+        :meth:`repro.obs.MetricsRegistry.add_collector` folds them into
+        every snapshot as ``verdict_cache_events_total{kind=...}``, so
+        the unified registry serves the verdict-cache stats too.
+        """
+        from ..obs.metrics import sample_key
+
+        return {
+            sample_key("verdict_cache_events_total", kind=kind): value
+            for kind, value in self.as_dict().items()
+        }
+
 
 @dataclass
 class _SeriesState:

@@ -45,7 +45,7 @@ def summarize_streaming(payload) -> dict | None:
     if not rows:
         return None
     top = rows[-1]
-    return {
+    summary = {
         "scale": top.get("scale"),
         "events": top.get("events"),
         "batch_events_per_sec": top.get("batch_events_per_sec"),
@@ -53,6 +53,21 @@ def summarize_streaming(payload) -> dict | None:
         "stream_event_latency_p50_us": top.get("stream_event_latency_p50_us"),
         "detect_parity": all(r.get("detect_parity") for r in rows),
     }
+    # The observability plane's cost and the per-stage breakdown, when
+    # the bench ran with the metrics pass (older JSONs lack it).
+    if "metrics_overhead_pct" in top:
+        summary["metrics_overhead_pct"] = round(
+            top["metrics_overhead_pct"], 2
+        )
+        summary["metrics_parity"] = all(
+            r.get("metrics_parity", True) for r in rows
+        )
+    if top.get("stage_seconds"):
+        summary["stage_seconds"] = {
+            stage: round(seconds, 6)
+            for stage, seconds in sorted(top["stage_seconds"].items())
+        }
+    return summary
 
 
 def summarize_fleet(payload) -> dict | None:
@@ -77,11 +92,23 @@ def summarize_fleet(payload) -> dict | None:
         if serial_rps and rps:
             entry["speedup_vs_serial"] = round(rps / serial_rps, 3)
         summary_modes[mode.get("mode")] = entry
-    return {
+    summary = {
         "smoke": payload.get("smoke"),
         "modes": summary_modes,
         "detect_parity": all(m.get("detect_parity") for m in modes),
     }
+    metrics_run = payload.get("metrics")
+    if metrics_run:
+        summary["metrics"] = {
+            "detect_parity": metrics_run.get("detect_parity"),
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in sorted(
+                    metrics_run.get("stage_seconds", {}).items()
+                )
+            },
+        }
+    return summary
 
 
 def summarize_bp_scale(payload) -> dict | None:

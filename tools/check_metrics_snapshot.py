@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Validate a ``--metrics-out`` snapshot produced by a CLI run.
+
+CI smokes run ``repro-detect stream/fleet --metrics-out <path>`` and
+then call this tool to assert the artifact is real: the JSON parses
+back into a :class:`repro.obs.metrics.MetricsSnapshot`, it is not
+empty, every metric family named on the command line is present, and
+the sibling ``.prom`` text exposition exists and is non-trivial.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_metrics_snapshot.py \
+        out/metrics.json stream_events_total bp_runs_total ...
+
+Exit codes: 0 all checks pass, 1 any check fails (one line per
+failure on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.metrics import MetricsSnapshot  # noqa: E402
+
+
+def check_snapshot(path: pathlib.Path, families: list[str]) -> list[str]:
+    """All problems found with one snapshot file (empty = healthy)."""
+    problems: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: unreadable snapshot: {err}"]
+    try:
+        snapshot = MetricsSnapshot.from_dict(payload)
+    except (TypeError, KeyError, ValueError) as err:
+        return [f"{path}: not a metrics snapshot: {err}"]
+    if snapshot.is_empty():
+        problems.append(f"{path}: snapshot carries no samples")
+    present = snapshot.families()
+    for family in families:
+        if family not in present:
+            problems.append(
+                f"{path}: expected metric family {family!r} missing "
+                f"(present: {', '.join(sorted(present)) or 'none'})"
+            )
+    prom_path = path.with_suffix(".prom")
+    if not prom_path.exists():
+        problems.append(f"{prom_path}: missing Prometheus sibling")
+    elif not prom_path.read_text().strip():
+        problems.append(f"{prom_path}: empty Prometheus exposition")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot", type=pathlib.Path,
+                        help="the --metrics-out JSON file")
+    parser.add_argument(
+        "families", nargs="*",
+        help="metric families that must be present",
+    )
+    args = parser.parse_args(argv)
+    problems = check_snapshot(args.snapshot, args.families)
+    for problem in problems:
+        print(f"check_metrics_snapshot: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            f"check_metrics_snapshot: {args.snapshot} ok "
+            f"({len(args.families)} families asserted)"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
