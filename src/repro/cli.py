@@ -8,6 +8,7 @@ The subcommands cover the workflows a downstream user needs::
     repro-detect run         # batch detection over a log directory
     repro-detect stream      # replay a log directory as an event stream
     repro-detect fleet       # run many tenants above a shared intel plane
+    repro-detect intel       # inspect/maintain a durable intel store
     repro-detect timing      # test one timestamp series for automation
 
 ``stream`` drives the online engine (:mod:`repro.streaming`): events
@@ -95,6 +96,29 @@ def _add_generate_parser(subparsers) -> None:
              "logs, 'enterprise' a web-proxy layout (daily proxy logs, "
              "a trained model.json and whois.json) for "
              "'repro-detect stream --pipeline enterprise'",
+    )
+    parser.add_argument(
+        "--ct-siblings", type=int, default=0,
+        help="with --tenants N, inject K extra campaign domains "
+             "reachable only through the CT fixture's SAN pivot (the "
+             "manifest then references intel/certs.json)",
+    )
+
+
+def _add_intel_db_arguments(parser) -> None:
+    """Durable intel-store flags shared by stream/fleet."""
+    parser.add_argument(
+        "--intel-db", type=Path, default=None,
+        help="durable SQLite intel store: VT verdicts, WHOIS/RDAP "
+             "records and per-tenant history persist across runs "
+             "(created on first use; detections are identical with or "
+             "without it -- repeat runs just skip re-resolving "
+             "already-stored evidence)",
+    )
+    parser.add_argument(
+        "--intel-ttl-days", type=float, default=None,
+        help="expire stored intel entries after this many days "
+             "(default: never; see the operations runbook for tuning)",
     )
 
 
@@ -210,6 +234,7 @@ def _add_stream_parser(subparsers) -> None:
         "--verbose", action="store_true",
         help="print every intra-day scoring update, not just day reports",
     )
+    _add_intel_db_arguments(parser)
     _add_obs_arguments(parser)
 
 
@@ -277,7 +302,27 @@ def _add_fleet_parser(subparsers) -> None:
         "--json", type=Path, default=None,
         help="also write the full fleet report to this JSON file",
     )
+    _add_intel_db_arguments(parser)
     _add_obs_arguments(parser)
+
+
+def _add_intel_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "intel",
+        help="inspect or maintain a durable intel store "
+             "(as written by 'fleet --intel-db' / 'stream --intel-db')",
+        description="Maintenance verbs for the SQLite intel store: "
+                    "'stats' prints a JSON health document (size, "
+                    "per-table row counts, pending writes), 'vacuum' "
+                    "drops expired entries and compacts the file, "
+                    "'export' dumps every stored record as JSON. "
+                    "Exit codes: 0 success, 2 missing or corrupt store.",
+    )
+    parser.add_argument(
+        "action", choices=("stats", "vacuum", "export"),
+        help="what to do with the store",
+    )
+    parser.add_argument("db", type=Path, help="intel store path")
 
 
 def _add_timing_parser(subparsers) -> None:
@@ -308,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_parser(subparsers)
     _add_stream_parser(subparsers)
     _add_fleet_parser(subparsers)
+    _add_intel_parser(subparsers)
     _add_timing_parser(subparsers)
     return parser
 
@@ -454,6 +500,10 @@ def _run_generate(args) -> int:
             "--pipeline enterprise writes a single-tenant layout; for "
             "mixed fleets use --tenants N --enterprise-tenants K"
         )
+    if args.ct_siblings and args.tenants < 2:
+        return _fail("--ct-siblings needs a fleet (--tenants N >= 2)")
+    if args.ct_siblings < 0:
+        return _fail("--ct-siblings must be non-negative")
     if args.tenants > 1:
         if args.netflow:
             return _fail("--netflow is not supported with --tenants")
@@ -473,6 +523,7 @@ def _run_generate(args) -> int:
             n_tenants=args.tenants,
             tenant=LanlConfig(seed=args.seed, n_hosts=args.hosts),
             enterprise_tenants=args.enterprise_tenants,
+            ct_sibling_domains=args.ct_siblings,
         ))
         manifest_path = write_fleet_layout(fleet, args.output, days=args.days)
         for tenant_id in fleet.tenant_ids:
@@ -591,6 +642,9 @@ def _run_stream(args) -> int:
     if args.resume and args.checkpoint is None:
         return _fail("--resume requires --checkpoint",
                      json_mode=args.log_json)
+    if args.intel_ttl_days is not None and args.intel_db is None:
+        return _fail("--intel-ttl-days requires --intel-db",
+                     json_mode=args.log_json)
     enterprise = args.pipeline == "enterprise"
     if enterprise and args.model_state is None:
         return _fail(
@@ -610,6 +664,22 @@ def _run_stream(args) -> int:
             "(enterprise proxy logs arrive pre-joined)",
             json_mode=args.log_json,
         )
+    store = None
+    if args.intel_db is not None:
+        from .intelstore import IntelStore, IntelStoreError
+
+        try:
+            store = IntelStore(
+                args.intel_db,
+                ttl_seconds=(
+                    args.intel_ttl_days * 86_400.0
+                    if args.intel_ttl_days is not None else None
+                ),
+            )
+        except IntelStoreError as exc:
+            return _fail(str(exc), json_mode=args.log_json)
+        if metrics is not None:
+            store.bind_metrics(metrics)
     pattern = args.pattern or ("proxy-*.log" if enterprise else "dns-*.log")
     shared = dict(
         bootstrap_files=args.bootstrap_files,
@@ -626,10 +696,24 @@ def _run_stream(args) -> int:
     )
     try:
         if enterprise:
+            whois_cache = None
+            if store is not None:
+                # The store-backed registry hydrates previously
+                # persisted WHOIS/RDAP facts and write-behinds novel
+                # lookups -- repeat runs stop re-resolving.
+                from .intelstore import StoreCachingWhois
+                from .intelstore.rdap import load_registration_registry
+
+                registry = (
+                    load_registration_registry(args.whois)
+                    if args.whois is not None else None
+                )
+                whois_cache = StoreCachingWhois(store, registry)
             result = replay_enterprise_directory(
                 args.directory,
                 model_state=args.model_state,
-                whois_path=args.whois,
+                whois_path=args.whois if whois_cache is None else None,
+                whois=whois_cache,
                 **shared,
             )
         else:
@@ -640,6 +724,19 @@ def _run_stream(args) -> int:
             )
     except (ValueError, OSError, StateError) as exc:
         return _fail(str(exc), json_mode=args.log_json)
+    if store is not None:
+        from .fleet.workers import _scored_detections
+        from .intelstore import IntelStoreError
+
+        try:
+            for report in result.reports:
+                for domain, score in _scored_detections(report).items():
+                    store.record_profile("stream", domain, report.day, score)
+            flushed = store.flush()
+            store.close()
+        except IntelStoreError as exc:
+            return _fail(str(exc), json_mode=args.log_json)
+        print(f"intel store: {flushed} rows flushed to {args.intel_db}")
     all_detected: set[str] = set()
     for report in result.reports:
         print(
@@ -677,7 +774,12 @@ def _run_fleet(args) -> int:
     )
     from .state import StateError
 
+    from .intelstore import IntelStoreError
+
     metrics = _setup_obs(args)
+    if args.intel_ttl_days is not None and args.intel_db is None:
+        return _fail("--intel-ttl-days requires --intel-db",
+                     json_mode=args.log_json)
     try:
         manifest = load_manifest(args.manifest)
         manager = FleetManager.from_manifest(
@@ -689,9 +791,12 @@ def _run_fleet(args) -> int:
             heartbeat=args.heartbeat,
             window_shards=args.window_shards,
             metrics=metrics,
+            intel_db=args.intel_db,
+            intel_ttl_days=args.intel_ttl_days,
         )
         report = manager.run(max_rounds=args.max_rounds)
-    except (ManifestError, FleetError, StateError, OSError) as exc:
+    except (ManifestError, FleetError, StateError, IntelStoreError,
+            OSError) as exc:
         return _fail(str(exc), json_mode=args.log_json)
     print(report.render())
     if metrics is not None:
@@ -711,6 +816,33 @@ def _run_fleet(args) -> int:
                f"{args.checkpoint_dir}" if args.checkpoint_dir else "")
         )
         return 3
+    return 0
+
+
+def _run_intel(args) -> int:
+    import json
+
+    from .intelstore import IntelStore, IntelStoreError, export_json
+
+    if not args.db.is_file():
+        return _fail(f"intel store not found: {args.db}")
+    try:
+        store = IntelStore(args.db)
+        if args.action == "stats":
+            print(json.dumps(store.stats_document(), indent=1))
+        elif args.action == "vacuum":
+            dropped = store.purge_expired()
+            store.vacuum()
+            document = store.stats_document()
+            print(
+                f"dropped {dropped} expired entries; "
+                f"{document['size_bytes']} bytes on disk"
+            )
+        else:
+            print(export_json(store))
+        store.close()
+    except IntelStoreError as exc:
+        return _fail(str(exc))
     return 0
 
 
@@ -750,6 +882,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _run_run,
         "stream": _run_stream,
         "fleet": _run_fleet,
+        "intel": _run_intel,
         "timing": _run_timing,
     }
     return handlers[args.command](args)

@@ -112,6 +112,7 @@ def belief_propagation(
     score_frontier: ScoreFrontier | None = None,
     config: BeliefPropagationConfig | None = None,
     prior: "BeliefPropagationResult | None" = None,
+    sibling_dom: Mapping[str, Set[str]] | None = None,
     metrics=None,
 ) -> BeliefPropagationResult:
     """Run Algorithm 1.
@@ -139,6 +140,15 @@ def belief_propagation(
     run over the same graph whenever the scorers are themselves
     monotone in the day's accumulating traffic, while spending
     iterations only on newly labeled domains.
+
+    ``sibling_dom`` optionally maps a domain to sibling domains
+    connected through out-of-band evidence (certificate-transparency
+    SAN pivots -- see :mod:`repro.intelstore.ct`): whenever a domain is
+    labeled malicious, its siblings join ``R`` and get examined like
+    any rare domain contacted by a compromised host.  Callers are
+    expected to pre-filter the mapping to the day's rare set.  When
+    ``None`` (the default) the run is byte-identical to a build
+    without the parameter.
 
     ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`;
     when given, the run records iteration counts, per-iteration
@@ -191,6 +201,9 @@ def belief_propagation(
     rare: set[str] = set()
     for host in hosts:
         rare.update(host_rdom.get(host, ()))
+    if sibling_dom:
+        for domain in malicious:
+            rare.update(sibling_dom.get(domain, ()))
 
     if score_frontier is None:
         # Compatibility adapter: per-domain scoring against the full
@@ -286,6 +299,9 @@ def belief_propagation(
                 graph.add_edge(host, domain)
         for host in hosts:
             rare.update(host_rdom.get(host, ()))
+        if sibling_dom:
+            for domain in newly_labeled:
+                rare.update(sibling_dom.get(domain, ()))
 
         trace.append(
             IterationTrace(

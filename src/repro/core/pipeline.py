@@ -74,6 +74,9 @@ class DayResult:
     intel_seeded: set[str] = field(default_factory=set)
     """Rare domains seeded from shared intelligence (fleet mode)."""
 
+    ct_seeded: set[str] = field(default_factory=set)
+    """Rare domains pulled in through CT SAN-pivot sibling edges."""
+
     stage_seconds: dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds per detection stage (``automation``, ``cc``,
     ``bp``); always measured, observability only."""
@@ -84,9 +87,13 @@ class DayResult:
 
     def all_detected_domains(self) -> set[str]:
         """Union of both modes' detections (seeds included only for
-        intel-seeded domains, which are detections in their own right)
-        plus C&C hits."""
-        detected = set(self.cc_domain_names) | set(self.intel_seeded)
+        intel- and CT-seeded domains, which are detections in their
+        own right) plus C&C hits."""
+        detected = (
+            set(self.cc_domain_names)
+            | set(self.intel_seeded)
+            | set(self.ct_seeded)
+        )
         for result in (self.no_hint, self.soc_hints):
             if result is not None:
                 detected.update(result.detected_domains)
@@ -336,6 +343,7 @@ def detect_on_enterprise_traffic(
     config: SystemConfig,
     soc_seed_domains: Iterable[str] = (),
     intel_domains: Set[str] = frozenset(),
+    ct_edges=None,
     use_index: bool = True,
     metrics=None,
 ) -> DayResult:
@@ -357,6 +365,13 @@ def detect_on_enterprise_traffic(
     one enterprise elevates the prior everywhere it appears, even where
     local evidence (a single beaconing host, say, below the regression
     model's connectivity signal) would not fire ``Detect_C&C`` alone.
+
+    ``ct_edges`` is an optional :class:`repro.intelstore.ct.CtIndex`:
+    rare domains reachable from the no-hint seeds through shared
+    certificates join the seed set (reported as ``ct_seeded``), and
+    both BP runs receive a rare-restricted SAN-pivot sibling map for
+    frontier extension.  ``None`` (the default) is byte-identical to a
+    build without the parameter.
 
     ``use_index`` routes each belief-propagation run through the day's
     :class:`~repro.profiling.index.TrafficIndex` and a fresh
@@ -392,6 +407,14 @@ def detect_on_enterprise_traffic(
         cc_set = {scored.domain for scored in cc_domains}
     stage_seconds["cc"] = cc_span.elapsed
     intel_seeded = set(intel_domains) & rare
+
+    ct_seeded: set[str] = set()
+    sibling_dom = None
+    if ct_edges is not None:
+        from ..intelstore.ct import expand_ct_seeds, sibling_map
+
+        ct_seeded = expand_ct_seeds(cc_set | intel_seeded, rare, ct_edges)
+        sibling_dom = sibling_map(ct_edges, rare)
 
     if use_index:
         index = traffic.index()
@@ -430,10 +453,11 @@ def detect_on_enterprise_traffic(
         automated_verdicts=verdicts,
         cc_domains=cc_domains,
         intel_seeded=intel_seeded,
+        ct_seeded=ct_seeded,
     )
 
     with obs.span("detect_bp") as bp_span:
-        no_hint_seeds = cc_set | intel_seeded
+        no_hint_seeds = cc_set | intel_seeded | ct_seeded
         if no_hint_seeds:
             seed_hosts: set[str] = set()
             for domain in no_hint_seeds:
@@ -445,6 +469,7 @@ def detect_on_enterprise_traffic(
                 host_rdom=host_rdom,
                 detect_cc=detect_cc,
                 config=config.belief_propagation,
+                sibling_dom=sibling_dom,
                 metrics=metrics,
                 **scoring_kwargs(),
             )
@@ -463,6 +488,7 @@ def detect_on_enterprise_traffic(
                 host_rdom=host_rdom,
                 detect_cc=detect_cc,
                 config=config.belief_propagation,
+                sibling_dom=sibling_dom,
                 metrics=metrics,
                 **scoring_kwargs(),
             )

@@ -213,6 +213,60 @@ class IntelPlane:
         self._board: dict[str, BoardEntry] = {}
         self._revision = 0
         self._lock = threading.Lock()
+        self._store = None
+        self._hydrated_vt: set[str] = set()
+        self._hydrated_whois: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Durable store (hydration + write-behind)
+    # ------------------------------------------------------------------
+
+    def attach_store(self, store, *, hydrate: bool = True) -> None:
+        """Back this plane with a durable :class:`repro.intelstore
+        .store.IntelStore`.
+
+        Hydration pre-fills the memoized VT/WHOIS caches from disk
+        (never overwriting live entries), so a restarted fleet answers
+        those lookups without touching the feeds; the hydrated keys
+        are remembered so lookups against them count as store *hits*.
+        Afterwards every cache miss is also a store *miss* and is
+        written behind for the next :meth:`flush_store`.  Hydrated
+        values equal what the feeds would return, so detections are
+        byte-identical with or without the store.
+        """
+        with self._lock:
+            self._store = store
+            if not hydrate:
+                return
+            for domain, entry in store.load_vt().items():
+                if domain not in self.vt_cache._entries:
+                    self.vt_cache._entries[domain] = entry
+                    self._hydrated_vt.add(domain)
+            for domain, entry in store.load_whois().items():
+                if domain not in self.whois_cache._entries:
+                    self.whois_cache._entries[domain] = entry
+                    self._hydrated_whois.add(domain)
+
+    @property
+    def store(self):
+        """The attached durable store, or ``None``."""
+        return self._store
+
+    def flush_store(self) -> int:
+        """Commit write-behind rows to the attached store (rows
+        written; 0 when no store is attached) -- called by the manager
+        at day barriers and at end of run."""
+        store = self._store
+        if store is None:
+            return 0
+        return store.flush()
+
+    def store_stats(self) -> dict[str, Any] | None:
+        """The attached store's accounting, or ``None`` without one."""
+        store = self._store
+        if store is None:
+            return None
+        return store.stats.as_dict()
 
     # ------------------------------------------------------------------
     # Shared lookups
@@ -223,20 +277,36 @@ class IntelPlane:
         oracle is attached (lookups are still cached and counted, so a
         fleet without a VT feed keeps its sharing accounting)."""
         with self._lock:
-            return self.vt_cache.get(
+            known = domain in self.vt_cache._entries
+            value = self.vt_cache.get(
                 domain,
                 tenant_id,
                 lambda: self.vt.is_reported(domain) if self.vt else None,
             )
+            if self._store is not None:
+                if not known:
+                    self._store.stats.count_miss("vt")
+                    self._store.put_vt(domain, value, tenant_id)
+                elif domain in self._hydrated_vt:
+                    self._store.stats.count_hit("vt")
+            return value
 
     def whois_lookup(self, tenant_id: str, domain: str) -> WhoisRecord | None:
         """Memoized WHOIS record (``None`` = unregistered/unparseable)."""
         with self._lock:
-            return self.whois_cache.get(
+            known = domain in self.whois_cache._entries
+            value = self.whois_cache.get(
                 domain,
                 tenant_id,
                 lambda: self.whois.lookup(domain) if self.whois else None,
             )
+            if self._store is not None:
+                if not known:
+                    self._store.stats.count_miss("whois")
+                    self._store.put_whois(domain, value, tenant_id)
+                elif domain in self._hydrated_whois:
+                    self._store.stats.count_hit("whois")
+            return value
 
     # ------------------------------------------------------------------
     # Cross-tenant prior board

@@ -159,6 +159,11 @@ def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
             server_ips=frozenset(payload["server_ips"]),
         )
         rounds_done = 0
+    ct_index = None
+    if payload.get("ct_path"):
+        from ..intelstore.ct import load_ct_cached
+
+        ct_index = load_ct_cached(payload["ct_path"])
     report = _advance_one_day(
         detector,
         payload["tenant_id"],
@@ -166,6 +171,7 @@ def _process_worker(payload: dict[str, Any]) -> dict[str, Any] | None:
         bootstrap=payload["bootstrap"],
         seeds=frozenset(payload["seeds"]),
         pipeline=payload["pipeline"],
+        ct_edges=ct_index,
         metrics=metrics,
     )
     report_dict = report.as_dict() if report is not None else None
@@ -203,6 +209,9 @@ class FleetManager:
         full_checkpoint_every: int = 16,
         window_shards: int = 1,
         metrics=None,
+        intel_db: str | Path | None = None,
+        intel_ttl_days: float | None = None,
+        ct_path: str | Path | None = None,
     ) -> None:
         if not specs:
             raise FleetError("fleet needs at least one tenant")
@@ -256,6 +265,42 @@ class FleetManager:
         #: per-round deltas resident/pool workers ship back.
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.intel.bind_metrics(self.metrics)
+        #: CT SAN-pivot index shared by every tenant's rollover, or
+        #: ``None`` -- detections are byte-identical without it.
+        self.ct_path = Path(ct_path) if ct_path is not None else None
+        self.ct_index = None
+        if self.ct_path is not None:
+            from ..intelstore.ct import load_ct_cached
+
+            fold_level = (
+                self.config.rarity.fold_level
+                if self.config is not None else 2
+            )
+            self.ct_index = load_ct_cached(
+                self.ct_path, fold_level=fold_level
+            )
+        #: durable intel store; only the manager touches it (workers
+        #: keep shipping deltas over their queues).
+        self.intel_store = None
+        if intel_db is not None:
+            from ..intelstore.store import IntelStore
+
+            self.intel_store = IntelStore(
+                intel_db,
+                ttl_seconds=(
+                    intel_ttl_days * SECONDS_PER_DAY
+                    if intel_ttl_days is not None else None
+                ),
+            )
+            self.intel.attach_store(self.intel_store)
+            self.intel_store.bind_metrics(self.metrics)
+            if self.ct_index is not None:
+                # Persist the CT observations alongside the verdicts so
+                # `repro-detect intel export` documents the full
+                # evidence base (write-behind; lands at the first
+                # barrier flush).
+                for cert in self.ct_index.observations:
+                    self.intel_store.put_cert(cert)
         self.engines: dict[str, Any] = {}
         #: per-worker execution stats of the last resident run
         #: (worker id -> tenants, tenant-days, records, busy seconds,
@@ -283,6 +328,7 @@ class FleetManager:
             )
             kwargs["intel"] = IntelPlane(vt=vt, whois=manifest.whois)
         kwargs.setdefault("whois_path", manifest.whois_path)
+        kwargs.setdefault("ct_path", manifest.certs_path)
         return cls(manifest.tenants, **kwargs)
 
     # ------------------------------------------------------------------
@@ -457,6 +503,9 @@ class FleetManager:
                     encode_config(self.config)
                     if self.config is not None else None
                 ),
+                "ct_path": (
+                    str(self.ct_path) if self.ct_path is not None else None
+                ),
                 "metrics": self.metrics.enabled,
             })
 
@@ -466,6 +515,7 @@ class FleetManager:
             report = _advance_one_day(
                 detector, spec.tenant_id, path,
                 bootstrap=bootstrap, seeds=seeds, pipeline=spec.pipeline,
+                ct_edges=self.ct_index,
                 metrics=self.metrics,
             )
             if self.checkpoint_dir is not None:
@@ -501,6 +551,11 @@ class FleetManager:
                 report.metrics_snapshot = self.metrics.snapshot().as_dict()
             return report
         finally:
+            if self.intel_store is not None:
+                # Final flush + release; the accounting stays readable
+                # in memory for the report, and the file is complete
+                # for the next run (or `repro-detect intel`).
+                self.intel_store.close()
             if self._transport_dir is not None:
                 self._transport_dir.cleanup()
                 self._transport_dir = None
@@ -616,6 +671,17 @@ class FleetManager:
         report.rounds = rnd + 1
         self.metrics.counter("fleet_rounds_total").inc()
         self.metrics.gauge("fleet_board_domains").set(len(self.intel.board))
+        if self.intel_store is not None:
+            # Day-barrier durability: fold the round's detections into
+            # the rolling per-tenant profiles and commit the plane's
+            # write-behind rows (VT/WHOIS lookups above plus any CT
+            # observations) in one transaction.
+            for day_report in round_reports:
+                for domain, score in day_report.scores.items():
+                    self.intel_store.record_profile(
+                        day_report.tenant_id, domain, day_report.day, score
+                    )
+            self.intel.flush_store()
         self._save_fleet_state(rnd + 1)
         log_event(
             _LOG, "round_committed",
@@ -672,6 +738,7 @@ class FleetManager:
             full_every=self.full_checkpoint_every,
             window_shards=self.window_shards,
             metrics_enabled=self.metrics.enabled,
+            ct_path=self.ct_path,
         )
         self.resident_pool = pool
         try:

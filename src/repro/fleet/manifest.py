@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from ..intel.whois_db import WhoisDatabase, load_whois_file
+from ..intel.whois_db import WhoisDatabase
 
 MANIFEST_VERSION = 1
 
@@ -87,6 +87,10 @@ class FleetManifest:
 
     whois_path: Path | None = None
     """Where :attr:`whois` was loaded from (process workers re-load it)."""
+
+    certs_path: Path | None = None
+    """Optional CT log fixture (``"certs"`` key): certificate
+    observations whose SAN pivots become sibling evidence edges."""
 
     path: Path | None = field(default=None, repr=False)
 
@@ -211,15 +215,35 @@ def load_manifest(path: str | Path) -> FleetManifest:
         if not whois_path.is_file():
             raise ManifestError(f"whois file not found: {whois_path}")
         try:
-            whois = load_whois_file(whois_path)
+            # Accepts both registry formats: classic WHOIS JSON and
+            # RDAP fixture documents (sniffed by shape).
+            from ..intelstore.rdap import load_registration_registry
+
+            whois = load_registration_registry(whois_path)
         except (ValueError, KeyError) as exc:
             raise ManifestError(
                 f"whois file {whois_path} is invalid: {exc}"
+            ) from exc
+
+    certs_path = None
+    raw_certs = payload.get("certs")
+    if raw_certs is not None:
+        certs_path = (base / str(raw_certs)).resolve()
+        if not certs_path.is_file():
+            raise ManifestError(f"certs file not found: {certs_path}")
+        try:
+            from ..intelstore.ct import load_ct_log
+
+            load_ct_log(certs_path)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ManifestError(
+                f"certs file {certs_path} is invalid: {exc}"
             ) from exc
     return FleetManifest(
         tenants=tenants,
         vt_reported=vt_reported,
         whois=whois,
         whois_path=whois_path,
+        certs_path=certs_path,
         path=path,
     )

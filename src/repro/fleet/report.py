@@ -43,6 +43,9 @@ class TenantDayReport:
     cc_domains: set[str] = field(default_factory=set)
     detected: list[str] = field(default_factory=list)
     intel_seeded: set[str] = field(default_factory=set)
+    ct_seeded: set[str] = field(default_factory=set)
+    """Domains pulled in through CT SAN-pivot sibling edges."""
+
     scores: dict[str, float] = field(default_factory=dict)
     """Publication scores per detected domain (seed/C&C labels are 1.0)."""
 
@@ -66,6 +69,7 @@ class TenantDayReport:
             "cc_domains": sorted(self.cc_domains),
             "detected": list(self.detected),
             "intel_seeded": sorted(self.intel_seeded),
+            "ct_seeded": sorted(self.ct_seeded),
             "scores": dict(self.scores),
             "elapsed_seconds": self.elapsed_seconds,
             "stage_seconds": dict(self.stage_seconds),
@@ -82,6 +86,7 @@ class TenantDayReport:
             cc_domains=set(payload["cc_domains"]),
             detected=list(payload["detected"]),
             intel_seeded=set(payload["intel_seeded"]),
+            ct_seeded=set(payload.get("ct_seeded", ())),
             scores={
                 str(domain): float(score)
                 for domain, score in payload.get("scores", {}).items()
@@ -207,6 +212,9 @@ class FleetReport:
                 "board_size": len(self.intel.board),
                 "seeds_served": self.intel.seeds_served,
             }
+            store_stats = self.intel.store_stats()
+            if store_stats is not None:
+                payload["intel"]["store"] = store_stats
         return payload
 
     def render(self) -> str:
@@ -269,6 +277,15 @@ class FleetReport:
                 f"board {len(self.intel.board)} domains, "
                 f"{self.seeded_detections()} seeded detections"
             )
+            store_stats = self.intel.store_stats()
+            if store_stats is not None:
+                lines.append(
+                    "intel store: "
+                    f"{sum(store_stats['hits'].values())} hits / "
+                    f"{sum(store_stats['misses'].values())} misses, "
+                    f"{store_stats['flushed_rows']} rows flushed, "
+                    f"{store_stats['evictions']} evictions"
+                )
         # Stage timings stay out of the rendered summary on purpose:
         # the CLI's output is compared across worker counts by the
         # parity tests, and wall-clock numbers never reproduce.  The

@@ -104,17 +104,21 @@ _WHOIS_MEMO: dict[str, WhoisDatabase] = {}
 
 
 def load_whois_cached(path: str | Path) -> WhoisDatabase:
-    """Parse a WHOIS file once per process and memoize the registry.
+    """Parse a registration-registry file once per process and memoize.
 
     Pool and resident workers alike live across rounds; re-parsing the
     (read-only) registry every round submission was pure overhead and
     reset all cache accounting.  The memo key is the path string --
-    fleet runs never rewrite the registry mid-run.
+    fleet runs never rewrite the registry mid-run.  Both registry
+    formats load here: classic WHOIS JSON and RDAP fixture documents
+    (see :func:`repro.intelstore.rdap.load_registration_registry`).
     """
+    from ..intelstore.rdap import load_registration_registry
+
     key = str(path)
     registry = _WHOIS_MEMO.get(key)
     if registry is None:
-        registry = load_whois_file(path)
+        registry = load_registration_registry(path)
         _WHOIS_MEMO[key] = registry
     return registry
 
@@ -224,6 +228,7 @@ def _advance_one_day(
     bootstrap: bool,
     seeds: Set[str],
     pipeline: str = "dns",
+    ct_edges=None,
     window_shards: int = 1,
     metrics=None,
 ) -> TenantDayReport | None:
@@ -262,7 +267,9 @@ def _advance_one_day(
             else:
                 detector.submit_raw(parse_dns_log(handle))
         detector.poll()
-        report = detector.rollover(detect=not bootstrap, intel_domains=seeds)
+        report = detector.rollover(
+            detect=not bootstrap, intel_domains=seeds, ct_edges=ct_edges
+        )
     if bootstrap:
         return None
     obs.counter("tenant_days_total", tenant=spec_id).inc()
@@ -279,6 +286,7 @@ def _advance_one_day(
         cc_domains=set(report.cc_domains),
         detected=list(report.detected),
         intel_seeded=set(report.intel_seeded),
+        ct_seeded=set(report.ct_seeded),
         scores=_scored_detections(report),
         elapsed_seconds=advance_span.elapsed,
         stage_seconds=dict(report.stage_seconds),
@@ -581,6 +589,11 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
         cache = WorkerIntelCache(
             load_whois_cached(init["whois_path"]) if needs_whois else None
         )
+        ct_index = None
+        if init.get("ct_path") is not None:
+            from ..intelstore.ct import load_ct_cached
+
+            ct_index = load_ct_cached(init["ct_path"])
         metrics = MetricsRegistry() if init.get("metrics") else NULL_METRICS
         replica = BoardReplica()
         seeds_reported = 0
@@ -627,6 +640,7 @@ def worker_main(worker_id: int, commands, responses, init: dict[str, Any]):
                         bootstrap=task["bootstrap"],
                         seeds=seeds,
                         pipeline=runtime.pipeline,
+                        ct_edges=ct_index,
                         window_shards=init["window_shards"],
                         metrics=metrics,
                     )
@@ -733,11 +747,13 @@ class ResidentPool:
         full_every: int = 16,
         window_shards: int = 1,
         metrics_enabled: bool = False,
+        ct_path: Path | None = None,
     ) -> None:
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.whois_path = whois_path
+        self.ct_path = ct_path
         self.config = config
         self.heartbeat = heartbeat
         self.full_every = full_every
@@ -769,6 +785,9 @@ class ResidentPool:
             ),
             "whois_path": (
                 str(self.whois_path) if self.whois_path is not None else None
+            ),
+            "ct_path": (
+                str(self.ct_path) if self.ct_path is not None else None
             ),
             "resume": resume,
             "full_every": self.full_every,

@@ -60,6 +60,9 @@ class DayDetection:
     intel_seeded: set[str] = field(default_factory=set)
     """Rare domains seeded from shared intelligence (fleet mode)."""
 
+    ct_seeded: set[str] = field(default_factory=set)
+    """Rare domains pulled in through CT SAN-pivot sibling edges."""
+
     stage_seconds: dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds per detection stage (``automation``, ``bp``)."""
 
@@ -73,6 +76,7 @@ def detect_on_traffic(
     config: SystemConfig,
     hint_hosts: Sequence[str] = (),
     intel_domains: Set[str] = frozenset(),
+    ct_edges=None,
     use_index: bool = True,
     metrics=None,
 ) -> DayDetection:
@@ -93,6 +97,15 @@ def detect_on_traffic(
     confirmed in one enterprise elevates the prior everywhere it
     appears, even where local evidence (e.g. a single beaconing host)
     would not fire the C&C heuristic on its own.
+
+    ``ct_edges`` is an optional :class:`repro.intelstore.ct.CtIndex`:
+    certificate-transparency SAN pivots become domain-domain sibling
+    evidence.  Rare domains reachable from the day's seeds through
+    shared certificates join the seed set (reported as ``ct_seeded``),
+    and belief propagation receives a rare-restricted sibling map so
+    newly labeled domains extend the frontier to their cert siblings.
+    With ``ct_edges=None`` (the default) detections are byte-identical
+    to a build without the parameter.
 
     ``use_index`` routes belief propagation through the day's
     :class:`~repro.profiling.index.TrafficIndex` and the incremental
@@ -132,6 +145,17 @@ def detect_on_traffic(
     for domain in intel_seeded:
         seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
 
+    ct_seeded: set[str] = set()
+    sibling_dom = None
+    if ct_edges is not None:
+        from .intelstore.ct import expand_ct_seeds, sibling_map
+
+        ct_seeded = expand_ct_seeds(seed_domains, rare, ct_edges)
+        seed_domains |= ct_seeded
+        for domain in ct_seeded:
+            seed_hosts.update(traffic.hosts_by_domain.get(domain, ()))
+        sibling_dom = sibling_map(ct_edges, rare)
+
     bp_result = None
     detected: list[str] = []
     if seed_hosts:
@@ -159,6 +183,7 @@ def detect_on_traffic(
                 host_rdom=host_rdom,
                 detect_cc=lambda dom: dom in cc,
                 config=config.belief_propagation,
+                sibling_dom=sibling_dom,
                 metrics=metrics,
                 **scoring,
             )
@@ -169,6 +194,7 @@ def detect_on_traffic(
         detected=detected,
         bp_result=bp_result,
         intel_seeded=intel_seeded,
+        ct_seeded=ct_seeded,
         stage_seconds=stage_seconds,
     )
 

@@ -89,6 +89,9 @@ class StreamDayReport:
     intel_seeded: set[str] = field(default_factory=set)
     """Domains seeded from shared intelligence (fleet mode)."""
 
+    ct_seeded: set[str] = field(default_factory=set)
+    """Domains pulled in through CT SAN-pivot sibling edges."""
+
     day_result: "object | None" = None
     """The enterprise path's full :class:`repro.core.DayResult` (both
     belief-propagation modes, scored C&C domains); ``None`` on the
@@ -236,6 +239,7 @@ class StreamingDetector(StreamingEngineBase):
         detect: bool = True,
         hint_hosts: Sequence[str] = (),
         intel_domains: Set[str] = frozenset(),
+        ct_edges=None,
     ) -> StreamDayReport:
         """Close the day: batch-parity detection, then commit histories.
 
@@ -250,6 +254,9 @@ class StreamingDetector(StreamingEngineBase):
         (e.g. another tenant's detections shared through a fleet's
         intel plane); those that are rare today seed belief propagation
         directly -- see :func:`repro.runner.detect_on_traffic`.
+        ``ct_edges`` (a :class:`repro.intelstore.ct.CtIndex`) likewise
+        passes straight through; ``None`` keeps detections
+        byte-identical to a build without it.
         """
         stage_seconds: dict[str, float] = {}
         with self.metrics.span("rollover_rare") as rare_span:
@@ -270,6 +277,7 @@ class StreamingDetector(StreamingEngineBase):
                 config=self.config,
                 hint_hosts=hint_hosts,
                 intel_domains=intel_domains,
+                ct_edges=ct_edges,
                 metrics=self.metrics,
             )
             stage_seconds.update(detection.stage_seconds)
@@ -281,6 +289,7 @@ class StreamingDetector(StreamingEngineBase):
                 detected=detection.detected,
                 bp_result=detection.bp_result,
                 intel_seeded=detection.intel_seeded,
+                ct_seeded=detection.ct_seeded,
             )
             self.metrics.counter("stream_detections_total").inc(
                 len(detection.detected)

@@ -260,6 +260,7 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
         detect: bool = True,
         soc_seed_domains: Iterable[str] = (),
         intel_domains: Set[str] = frozenset(),
+        ct_edges=None,
     ) -> StreamDayReport:
         """Close the day: batch-parity detection, then commit histories.
 
@@ -291,10 +292,15 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
                 config=self.config,
                 soc_seed_domains=soc_seed_domains,
                 intel_domains=intel_domains,
+                ct_edges=ct_edges,
                 metrics=self.metrics,
             )
             stage_seconds.update(result.stage_seconds)
-            seeds = result.cc_domain_names | result.intel_seeded
+            seeds = (
+                result.cc_domain_names
+                | result.intel_seeded
+                | result.ct_seeded
+            )
             detected = sorted(seeds)
             if result.no_hint is not None:
                 detected += [
@@ -314,6 +320,7 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
                 detected=detected,
                 bp_result=result.no_hint,
                 intel_seeded=result.intel_seeded,
+                ct_seeded=result.ct_seeded,
                 day_result=result,
             )
             self.metrics.counter("stream_detections_total").inc(
@@ -346,6 +353,7 @@ def replay_enterprise_directory(
     bootstrap_files: int = 0,
     pattern: str = "proxy-*.log",
     whois_path: str | Path | None = None,
+    whois=None,
     batch_size: int = 500,
     score_every: int = 1,
     warm: WarmStartConfig | None = None,
@@ -366,7 +374,11 @@ def replay_enterprise_directory(
     with a scoring round every ``score_every`` batches and a day
     rollover per file.  Logs are expected pre-joined (stable hostnames
     in the source field); ``whois_path`` re-attaches the registration
-    registry the regression features query.
+    registry the regression features query.  ``whois`` passes an
+    already-built lookup object instead (anything with a
+    ``lookup(domain)`` method, e.g. a :class:`repro.intelstore.store
+    .StoreCachingWhois` hydrated from a durable intel store) and takes
+    precedence over ``whois_path``.
 
     Checkpoint/resume semantics match the DNS replay: with
     ``checkpoint_path`` the full engine state is persisted every
@@ -380,7 +392,10 @@ def replay_enterprise_directory(
 
     validate_replay_intervals(score_every, checkpoint_every)
     paths = resolve_replay_paths(directory, pattern, bootstrap_files)
-    whois = load_whois_file(whois_path) if whois_path is not None else None
+    if whois is None:
+        whois = (
+            load_whois_file(whois_path) if whois_path is not None else None
+        )
 
     detector: StreamingEnterpriseDetector | None = None
     if resume:

@@ -2,6 +2,11 @@
 
 from .attacks import Campaign, CampaignFactory, CampaignSpec
 from .benign import BenignConfig, BenignWorkload, Visit
+from .certs import (
+    fleet_cert_observations,
+    fleet_rdap_documents,
+    write_intel_fixtures,
+)
 from .dga import DomainNameFactory
 from .entities import POPULAR_USER_AGENTS, EnterpriseModel, Host, build_enterprise
 from .enterprise import (
@@ -47,6 +52,9 @@ __all__ = [
     "FleetScenarioConfig",
     "SharedCampaignTruth",
     "build_fleet_whois",
+    "fleet_cert_observations",
+    "fleet_rdap_documents",
+    "write_intel_fixtures",
     "generate_enterprise_dataset",
     "generate_fleet_dataset",
     "train_enterprise_detector",

@@ -112,6 +112,15 @@ class FleetScenarioConfig:
     vt_coverage: float = 0.8
     """Fraction of fleet-wide malicious domains the shared VT feed knows."""
 
+    ct_sibling_domains: int = 0
+    """Extra campaign domains visible *only* through the CT fixture's
+    SAN pivot: each is looked up a handful of times (non-periodically,
+    from an uncompromised host) in one follower tenant, so it lands in
+    the day's rare set but never beacons, is absent from the VT feed,
+    and shares no host with the campaign -- belief propagation cannot
+    reach it without the certificate edge.  ``0`` (the default) leaves
+    generated worlds byte-identical to earlier versions."""
+
 
 @dataclass(frozen=True)
 class SharedCampaignTruth:
@@ -121,6 +130,14 @@ class SharedCampaignTruth:
     delivery_domains: tuple[str, ...]
     hosts_by_tenant: dict[str, tuple[str, ...]]
     date_by_tenant: dict[str, int]
+    ct_sibling_domains: tuple[str, ...] = ()
+    """Campaign domains reachable only via the CT certificate's SAN
+    pivot (kept out of :attr:`domains` so the VT feed stays blind to
+    them -- the certificate is their only evidence channel)."""
+
+    ct_sibling_tenant: str = ""
+    """Tenant whose traffic carries the sibling lookups (empty when
+    the scenario injected none)."""
 
     @property
     def domains(self) -> tuple[str, ...]:
@@ -325,6 +342,52 @@ def _inject_enterprise_campaign(
     return records
 
 
+def _inject_ct_siblings(
+    dataset,
+    march_date: int,
+    campaign_hosts: tuple[str, ...],
+    siblings: list[str],
+    domain_ips: dict[str, str],
+    pipeline: str,
+    rng: random.Random,
+) -> list:
+    """Sparse lookups of the CT-sibling domains in one tenant's day.
+
+    Three visits per domain, hours apart (nothing periodic), from a
+    host the campaign never compromised: rare by first appearance, but
+    invisible to the beaconing heuristic and unreachable from the
+    campaign through host-domain edges.
+    """
+    day = dataset.config.bootstrap_days + (march_date - 1)
+    base = day * SECONDS_PER_DAY
+    candidates = [
+        host.name
+        for host in dataset.model.hosts
+        if host.name not in campaign_hosts
+    ]
+    source = rng.choice(candidates)
+    records: list = []
+    windows = ((9.0, 11.0), (13.5, 15.5), (18.0, 20.0))
+    for domain in siblings:
+        for lo, hi in windows:
+            t = base + rng.uniform(lo * 3600.0, hi * 3600.0)
+            if pipeline == "enterprise":
+                records.append(ProxyRecord(
+                    timestamp=t, source_ip=source, destination=domain,
+                    destination_ip=domain_ips[domain],
+                    user_agent="", referer="",
+                ))
+            else:
+                records.append(DnsRecord(
+                    timestamp=t,
+                    source_ip=dataset.host_ips[source],
+                    domain=domain,
+                    record_type=DnsRecordType.A,
+                    resolved_ip=domain_ips[domain],
+                ))
+    return records
+
+
 def generate_fleet_dataset(
     config: FleetScenarioConfig | None = None,
 ) -> FleetDataset:
@@ -389,11 +452,47 @@ def generate_fleet_dataset(
                 dataset, date, hosts, delivery, cc, domain_ips, config, rng,
             )
 
+    ct_siblings: tuple[str, ...] = ()
+    ct_tenant = ""
+    if config.ct_sibling_domains > 0:
+        # A dedicated generator (and draws strictly after every
+        # existing one) keeps ct_sibling_domains=0 worlds
+        # byte-identical to earlier versions.
+        ct_rng = random.Random(config.seed ^ 0xCE127)
+        taken = set(delivery) | set(cc)
+        minted: list[str] = []
+        while len(minted) < config.ct_sibling_domains:
+            name = f"{_syllables(ct_rng, 3)}.c9"
+            if name not in taken:
+                taken.add(name)
+                minted.append(name)
+        ct_siblings = tuple(minted)
+        sibling_ips = {
+            domain: ips.ip_in_block(block) for domain in ct_siblings
+        }
+        followers = list(tenants)[1:]
+        ct_tenant = next(
+            (tid for tid in followers if pipelines[tid] == "dns"),
+            followers[0],
+        )
+        key = (ct_tenant, config.follower_date)
+        injected.setdefault(key, []).extend(_inject_ct_siblings(
+            tenants[ct_tenant],
+            config.follower_date,
+            hosts_by_tenant[ct_tenant],
+            list(ct_siblings),
+            sibling_ips,
+            pipelines[ct_tenant],
+            ct_rng,
+        ))
+
     shared = SharedCampaignTruth(
         cc_domains=tuple(cc),
         delivery_domains=tuple(delivery),
         hosts_by_tenant=hosts_by_tenant,
         date_by_tenant=date_by_tenant,
+        ct_sibling_domains=ct_siblings,
+        ct_sibling_tenant=ct_tenant,
     )
     return FleetDataset(
         config=config,
@@ -596,25 +695,37 @@ def write_fleet_layout(
         "\n".join(sorted(oracle.reported_domains)) + "\n"
     )
     save_whois_file(build_fleet_whois(fleet), intel_dir / "whois.json")
+    from .certs import write_intel_fixtures
+
+    write_intel_fixtures(fleet, intel_dir)
 
     shared = fleet.shared
+    truth_lines = [
+        f"3/{shared.date_by_tenant[tid]:02d} {tid} "
+        f"hosts={','.join(shared.hosts_by_tenant[tid])} "
+        f"domains={','.join(shared.domains)}"
+        for tid in fleet.tenant_ids
+    ]
+    if shared.ct_sibling_domains:
+        truth_lines.append(
+            f"ct_siblings {shared.ct_sibling_tenant} "
+            f"domains={','.join(shared.ct_sibling_domains)}"
+        )
     (directory / "shared_truth.txt").write_text(
-        "\n".join(
-            f"3/{shared.date_by_tenant[tid]:02d} {tid} "
-            f"hosts={','.join(shared.hosts_by_tenant[tid])} "
-            f"domains={','.join(shared.domains)}"
-            for tid in fleet.tenant_ids
-        ) + "\n"
+        "\n".join(truth_lines) + "\n"
     )
 
+    manifest: dict = {
+        "version": 1,
+        "vt_reported": "intel/vt_reported.txt",
+        "whois": "intel/whois.json",
+        "tenants": tenant_entries,
+    }
+    if shared.ct_sibling_domains:
+        # The certs fixture is always written, but only referenced --
+        # and therefore only consulted -- when the scenario injected
+        # SAN-pivot siblings, so existing layouts detect identically.
+        manifest["certs"] = "intel/certs.json"
     manifest_path = directory / "manifest.json"
-    manifest_path.write_text(json.dumps(
-        {
-            "version": 1,
-            "vt_reported": "intel/vt_reported.txt",
-            "whois": "intel/whois.json",
-            "tenants": tenant_entries,
-        },
-        indent=1,
-    ) + "\n")
+    manifest_path.write_text(json.dumps(manifest, indent=1) + "\n")
     return manifest_path

@@ -72,6 +72,7 @@ def make_multi_enterprise_dataset(
     follower_hosts: int = 1,
     vt_coverage: float = 0.8,
     enterprise_tenants: int = 0,
+    ct_sibling_domains: int = 0,
 ) -> FleetDataset:
     """Small N-tenant world with a shared attack campaign, in one call.
 
@@ -92,4 +93,5 @@ def make_multi_enterprise_dataset(
         lead_hosts=lead_hosts,
         follower_hosts=follower_hosts,
         vt_coverage=vt_coverage,
+        ct_sibling_domains=ct_sibling_domains,
     ))

@@ -26,10 +26,14 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.obs.metrics import MetricsSnapshot  # noqa: E402
+from repro.obs.metrics import MetricsSnapshot, split_sample_key  # noqa: E402
 
 
-def check_snapshot(path: pathlib.Path, families: list[str]) -> list[str]:
+def check_snapshot(
+    path: pathlib.Path,
+    families: list[str],
+    nonzero: list[str] | None = None,
+) -> list[str]:
     """All problems found with one snapshot file (empty = healthy)."""
     problems: list[str] = []
     try:
@@ -49,6 +53,17 @@ def check_snapshot(path: pathlib.Path, families: list[str]) -> list[str]:
                 f"{path}: expected metric family {family!r} missing "
                 f"(present: {', '.join(sorted(present)) or 'none'})"
             )
+    for family in nonzero or ():
+        total = sum(
+            value
+            for key, value in snapshot.counters.items()
+            if split_sample_key(key)[0] == family
+        )
+        if total <= 0:
+            problems.append(
+                f"{path}: counter family {family!r} must sum above "
+                f"zero (got {total})"
+            )
     prom_path = path.with_suffix(".prom")
     if not prom_path.exists():
         problems.append(f"{prom_path}: missing Prometheus sibling")
@@ -66,8 +81,15 @@ def main(argv: list[str] | None = None) -> int:
         "families", nargs="*",
         help="metric families that must be present",
     )
+    parser.add_argument(
+        "--nonzero", action="append", default=[], metavar="FAMILY",
+        help="counter family whose samples must sum above zero "
+             "(repeatable; implies presence)",
+    )
     args = parser.parse_args(argv)
-    problems = check_snapshot(args.snapshot, args.families)
+    problems = check_snapshot(
+        args.snapshot, args.families, nonzero=args.nonzero
+    )
     for problem in problems:
         print(f"check_metrics_snapshot: {problem}", file=sys.stderr)
     if not problems:
