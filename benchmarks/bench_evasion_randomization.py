@@ -4,11 +4,21 @@ Paper: "attackers can randomize timing patterns to C&C servers, but
 according to published reports this is uncommon.  Our dynamic histogram
 method is resilient against small amounts of randomization"; detecting
 *fully* randomized beacons is left open.  This bench quantifies that
-claim: recall of the automation detector as beacon jitter grows from 0
-to a full period, for the paper's parameters (W=10 s, JT=0.06) and a
-loosened variant (JT=0.35).  Shape: recall stays at 1.0 for jitter
-within the bin width, degrades as jitter crosses it, and collapses for
-full randomization -- with the looser threshold degrading later.
+claim at the timing layer: recall of the automation detector as beacon
+jitter grows from 0 to a full period, for the paper's parameters
+(W=10 s, JT=0.06) and a loosened variant (JT=0.35).  Shape: recall
+stays at 1.0 for jitter within the bin width, degrades as jitter
+crosses it, and collapses for full randomization -- with the looser
+threshold degrading later.
+
+This is the micro view folded into the adversarial campaign suite:
+``bench_evasion_suite.py`` drives the same jitter knob through the
+*full* pipelines (reduction, rare filtering, beacon correlation) as
+the ``jitter`` campaign archetype.  The whole strength axis here is a
+pure function of one ``SEED`` -- trial RNGs are derived from
+(seed, axis index, trial), never from the jitter value itself, so
+editing the axis cannot silently reshuffle the random draws of the
+points that stayed.
 """
 
 import random
@@ -22,6 +32,8 @@ from repro.timing import AutomationDetector
 JITTER_FRACTIONS = (0.0, 0.005, 0.01, 0.02, 0.05, 0.2, 0.5, 1.0)
 PERIOD = 600.0
 TRIALS = 40
+#: Single root seed for the entire strength axis.
+SEED = 8191
 
 
 def beacon(period, count, jitter, rng):
@@ -32,17 +44,17 @@ def beacon(period, count, jitter, rng):
     return times
 
 
-def recall_at(detector, jitter, seed_base):
+def recall_at(detector, jitter, axis_index):
     hits = 0
     for trial in range(TRIALS):
-        rng = random.Random(seed_base + trial)
+        rng = random.Random(SEED + 1000 * axis_index + trial)
         times = beacon(PERIOD, 30, jitter, rng)
         if detector.test_series("h", "d", times).automated:
             hits += 1
     return hits / TRIALS
 
 
-def test_evasion_randomization(benchmark):
+def test_evasion_randomization():
     paper = AutomationDetector(
         HistogramConfig(bin_width=10.0, jeffrey_threshold=0.06)
     )
@@ -53,10 +65,10 @@ def test_evasion_randomization(benchmark):
     rows = []
     recalls_paper = []
     recalls_loose = []
-    for fraction in JITTER_FRACTIONS:
+    for index, fraction in enumerate(JITTER_FRACTIONS):
         jitter = fraction * PERIOD
-        r_paper = recall_at(paper, jitter, seed_base=int(fraction * 1e4))
-        r_loose = recall_at(loose, jitter, seed_base=int(fraction * 1e4))
+        r_paper = recall_at(paper, jitter, index)
+        r_loose = recall_at(loose, jitter, index)
         recalls_paper.append(r_paper)
         recalls_loose.append(r_loose)
         rows.append(
@@ -70,8 +82,6 @@ def test_evasion_randomization(benchmark):
     assert recalls_paper[1] == 1.0  # jitter 3 s << W
     assert recalls_paper[-1] <= 0.2  # full randomization defeats it
     assert all(l >= p for p, l in zip(recalls_paper, recalls_loose))
-
-    benchmark(recall_at, paper, 3.0, 0)
 
     save_output(
         "evasion_randomization",

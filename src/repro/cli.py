@@ -103,6 +103,20 @@ def _add_generate_parser(subparsers) -> None:
              "reachable only through the CT fixture's SAN pivot (the "
              "manifest then references intel/certs.json)",
     )
+    parser.add_argument(
+        "--campaign", default=None,
+        help="overlay one adversarial campaign archetype on the "
+             "generated world (jitter, dga-chardist, dga-dictionary, "
+             "dga-hashhex, cdn-fronting, slow-burn; tenant-churn needs "
+             "--tenants N >= 3).  Its ground truth is written to "
+             "adversarial_truth.txt",
+    )
+    parser.add_argument(
+        "--evasion", type=float, default=0.0,
+        help="evasion strength in [0, 1] for --campaign: 0 is the "
+             "textbook (fully detectable) shape, 1 the hardest "
+             "realization of the archetype",
+    )
 
 
 def _add_intel_db_arguments(parser) -> None:
@@ -504,6 +518,37 @@ def _run_generate(args) -> int:
         return _fail("--ct-siblings needs a fleet (--tenants N >= 2)")
     if args.ct_siblings < 0:
         return _fail("--ct-siblings must be non-negative")
+    campaign = args.campaign
+    if args.evasion and campaign is None:
+        return _fail("--evasion requires --campaign")
+    if campaign is not None:
+        from .synthetic.campaigns import CAMPAIGN_NAMES, FLEET_CAMPAIGN_NAMES
+
+        if not 0.0 <= args.evasion <= 1.0:
+            return _fail("--evasion must be in [0, 1]")
+        if campaign in FLEET_CAMPAIGN_NAMES:
+            if args.tenants < 3:
+                return _fail(
+                    "--campaign tenant-churn needs --tenants N >= 3"
+                )
+            if args.days < 6:
+                return _fail(
+                    "--campaign tenant-churn needs --days >= 6 (the "
+                    "joining tenant is hit on a later follower date)"
+                )
+        elif campaign in CAMPAIGN_NAMES:
+            if args.tenants > 1:
+                return _fail(
+                    f"--campaign {campaign} is single-tenant; only "
+                    "tenant-churn works with --tenants"
+                )
+            if args.netflow:
+                return _fail("--netflow is not supported with --campaign")
+        else:
+            known = ", ".join(CAMPAIGN_NAMES + FLEET_CAMPAIGN_NAMES)
+            return _fail(
+                f"unknown campaign {campaign!r} (use one of {known})"
+            )
     if args.tenants > 1:
         if args.netflow:
             return _fail("--netflow is not supported with --tenants")
@@ -518,17 +563,40 @@ def _run_generate(args) -> int:
             write_fleet_layout,
         )
 
-        fleet = generate_fleet_dataset(FleetScenarioConfig(
-            seed=args.seed,
-            n_tenants=args.tenants,
-            tenant=LanlConfig(seed=args.seed, n_hosts=args.hosts),
-            enterprise_tenants=args.enterprise_tenants,
-            ct_sibling_domains=args.ct_siblings,
-        ))
+        if campaign is not None:
+            from dataclasses import replace
+
+            from .synthetic import churn_fleet_config
+
+            scenario = replace(
+                churn_fleet_config(
+                    strength=args.evasion,
+                    seed=args.seed,
+                    n_tenants=args.tenants,
+                    tenant=LanlConfig(seed=args.seed, n_hosts=args.hosts),
+                    enterprise_tenants=args.enterprise_tenants,
+                ),
+                ct_sibling_domains=args.ct_siblings,
+            )
+        else:
+            scenario = FleetScenarioConfig(
+                seed=args.seed,
+                n_tenants=args.tenants,
+                tenant=LanlConfig(seed=args.seed, n_hosts=args.hosts),
+                enterprise_tenants=args.enterprise_tenants,
+                ct_sibling_domains=args.ct_siblings,
+            )
+        fleet = generate_fleet_dataset(scenario)
         manifest_path = write_fleet_layout(fleet, args.output, days=args.days)
         for tenant_id in fleet.tenant_ids:
+            pattern = (
+                "proxy-*.log"
+                if fleet.pipeline_of(tenant_id) == "enterprise"
+                else "dns-*.log"
+            )
+            written = len(list((args.output / tenant_id).glob(pattern)))
             print(f"wrote {args.output / tenant_id}/ "
-                  f"({args.days} daily logs, "
+                  f"({written} daily logs, "
                   f"{fleet.pipeline_of(tenant_id)} pipeline)")
         print(f"wrote {manifest_path}")
         print(f"run it:  repro-detect fleet {manifest_path} --workers "
@@ -550,10 +618,36 @@ def _run_generate(args) -> int:
             operation_days=max(args.days, 4),
             quiet_days=1,
         ))
+        realized = _realize_cli_campaign(campaign, args, dataset)
         try:
-            write_enterprise_layout(dataset, args.output, days=args.days)
+            if realized is not None:
+                from .intel.whois_db import save_whois_file
+                from .synthetic.campaigns import campaign_proxy_records
+                from .synthetic.fleet import (
+                    _prejoined_proxy_records,
+                    write_enterprise_tenant,
+                )
+
+                for domain, registered, expires in realized.whois_records:
+                    dataset.whois.register(domain, registered, expires)
+
+                def day_records(march_date):
+                    day = dataset.config.bootstrap_days + (march_date - 1)
+                    records = _prejoined_proxy_records(dataset, day)
+                    records.extend(campaign_proxy_records(realized, day))
+                    records.sort(key=lambda r: r.timestamp)
+                    return records
+
+                write_enterprise_tenant(
+                    dataset, args.output, days=args.days,
+                    day_records=day_records,
+                )
+                save_whois_file(dataset.whois, args.output / "whois.json")
+            else:
+                write_enterprise_layout(dataset, args.output, days=args.days)
         except ValueError as exc:
             return _fail(str(exc))
+        _write_adversarial_truth(realized, args.output, dataset)
         print(f"wrote {args.output}/ ({args.days} daily proxy logs, "
               "model.json, whois.json)")
         print(f"run it:  repro-detect stream {args.output} "
@@ -565,11 +659,22 @@ def _run_generate(args) -> int:
     dataset = generate_lanl_dataset(
         LanlConfig(seed=args.seed, n_hosts=args.hosts)
     )
+    realized = _realize_cli_campaign(campaign, args, dataset)
     args.output.mkdir(parents=True, exist_ok=True)
     for march_date in range(1, args.days + 1):
+        records = dataset.day_records(march_date)
+        if realized is not None:
+            from .synthetic.campaigns import campaign_dns_records
+
+            day = dataset.config.bootstrap_days + (march_date - 1)
+            overlay = campaign_dns_records(realized, dataset.host_ips, day)
+            if overlay:
+                records = sorted(
+                    records + overlay, key=lambda r: r.timestamp
+                )
         day_path = args.output / f"dns-march-{march_date:02d}.log"
         with day_path.open("w") as handle:
-            for record in dataset.day_records(march_date):
+            for record in records:
                 handle.write(format_dns_line(record) + "\n")
         print(f"wrote {day_path}")
         if args.netflow:
@@ -587,7 +692,58 @@ def _run_generate(args) -> int:
                 f"domains={','.join(truth.malicious_domains)}\n"
             )
     print(f"wrote {truth_path}")
+    _write_adversarial_truth(realized, args.output, dataset)
     return 0
+
+
+def _realize_cli_campaign(campaign, args, dataset):
+    """Realize a single-tenant adversarial campaign for ``generate``.
+
+    The campaign starts on March 2 (the first post-bootstrap log file
+    is still a clean training day), so a default layout's
+    ``bootstrap_files=1`` run sees it on its first operational days.
+    """
+    if campaign is None:
+        return None
+    from .synthetic.campaigns import (
+        AdversarialCampaignSpec,
+        WorldView,
+        realize_campaign,
+    )
+
+    spec = AdversarialCampaignSpec(
+        campaign=campaign,
+        strength=args.evasion,
+        seed=args.seed,
+        start_day=dataset.config.bootstrap_days + 1,
+        duration_days=min(6 if campaign == "slow-burn" else 2,
+                          max(args.days - 1, 1)),
+        n_hosts=min(3, args.hosts),
+    )
+    return realize_campaign(WorldView.from_dataset(dataset), spec)
+
+
+def _write_adversarial_truth(realized, output: Path, dataset) -> None:
+    """Write the overlaid campaign's answers next to the layout."""
+    if realized is None:
+        return
+    spec = realized.spec
+    dates = ",".join(
+        str(day - dataset.config.bootstrap_days + 1)
+        for day in realized.active_days
+    )
+    truth_path = output / "adversarial_truth.txt"
+    with truth_path.open("w") as handle:
+        handle.write(
+            f"campaign={spec.campaign} strength={spec.strength} "
+            f"seed={spec.seed}\n"
+        )
+        handle.write(f"march_dates={dates}\n")
+        handle.write(f"hosts={','.join(realized.hosts)}\n")
+        handle.write(
+            f"domains={','.join(sorted(realized.truth_domains()))}\n"
+        )
+    print(f"wrote {truth_path}")
 
 
 def _run_run(args) -> int:

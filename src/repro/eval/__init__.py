@@ -10,6 +10,15 @@ from .clusters import (
     triage_report,
 )
 from .enterprise_eval import EnterpriseEvaluation, OperationalDay, SweepPoint
+from .evasion import (
+    EvasionCurve,
+    EvasionPoint,
+    campaign_horizon,
+    churn_evasion_curve,
+    dns_evasion_curve,
+    enterprise_evasion_curve,
+    trained_enterprise_world,
+)
 from .incident import DomainEvidence, IncidentReport, build_incident
 from .ledger import DetectionLedger, DomainDossier
 from .lanl_challenge import (
@@ -46,6 +55,13 @@ __all__ = [
     "EnterpriseEvaluation",
     "OperationalDay",
     "SweepPoint",
+    "EvasionCurve",
+    "EvasionPoint",
+    "campaign_horizon",
+    "churn_evasion_curve",
+    "dns_evasion_curve",
+    "enterprise_evasion_curve",
+    "trained_enterprise_world",
     "ChallengeReport",
     "DayOutcome",
     "LanlChallengeSolver",

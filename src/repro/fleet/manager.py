@@ -370,6 +370,20 @@ class FleetManager:
             files[spec.tenant_id] = found
         return files
 
+    @staticmethod
+    def _file_index(spec: TenantSpec, files: list[Path], rnd: int) -> int | None:
+        """The tenant's file position for fleet round ``rnd``.
+
+        A tenant that joins at ``join_round`` consumes its ``k``-th
+        file at round ``join_round + k``; ``None`` means the tenant is
+        not active this round (not yet joined, or out of files -- i.e.
+        it left the fleet).
+        """
+        index = rnd - spec.join_round
+        if index < 0 or index >= len(files):
+            return None
+        return index
+
     def _fleet_state_path(self) -> Path:
         assert self.checkpoint_dir is not None
         return self.checkpoint_dir / "fleet.json"
@@ -421,6 +435,14 @@ class FleetManager:
         for spec in self.specs:
             ckpt = _tenant_checkpoint_path(self.checkpoint_dir, spec.tenant_id)
             if not ckpt.exists():
+                if spec.join_round >= rounds:
+                    # The tenant had not joined the fleet by the time
+                    # the interrupted run stopped: no checkpoint is
+                    # expected, it starts fresh when its round comes.
+                    cursors[spec.tenant_id] = 0
+                    if self.executor == "thread":
+                        self.engines[spec.tenant_id] = self._build_engine(spec)
+                    continue
                 raise FleetError(
                     f"no checkpoint for tenant {spec.tenant_id!r}: {ckpt}"
                 )
@@ -567,7 +589,10 @@ class FleetManager:
         else:
             cursors = self._fresh_start()
             start_round, carried = 0, []
-        total_rounds = max(len(f) for f in files.values())
+        total_rounds = max(
+            spec.join_round + len(files[spec.tenant_id])
+            for spec in self.specs
+        )
 
         report = FleetReport(intel=self.intel)
         if self.executor == "resident":
@@ -590,17 +615,18 @@ class FleetManager:
                 futures: dict[str, Any] = {}
                 for spec in self.specs:
                     tenant_files = files[spec.tenant_id]
-                    if rnd >= len(tenant_files):
+                    file_index = self._file_index(spec, tenant_files, rnd)
+                    if file_index is None:
                         continue
                     if cursors[spec.tenant_id] > rnd:
                         continue  # recovered past this round already
-                    bootstrap = rnd < spec.bootstrap_files
+                    bootstrap = file_index < spec.bootstrap_files
                     seeds = (
                         frozenset() if bootstrap
                         else self.intel.seeds_for(spec.tenant_id)
                     )
                     futures[spec.tenant_id] = self._submit_tenant(
-                        pool, spec, tenant_files[rnd],
+                        pool, spec, tenant_files[file_index],
                         rnd=rnd, bootstrap=bootstrap, seeds=seeds,
                     )
 
@@ -829,14 +855,15 @@ class FleetManager:
         tasks: list[dict[str, Any]] = []
         for spec in pool.specs_of(handle):
             tenant_files = files[spec.tenant_id]
-            if rnd >= len(tenant_files):
+            file_index = self._file_index(spec, tenant_files, rnd)
+            if file_index is None:
                 continue
             if cursors[spec.tenant_id] > rnd:
                 continue  # recovered past this round already
             tasks.append({
                 "tenant_id": spec.tenant_id,
-                "log_path": str(tenant_files[rnd]),
-                "bootstrap": rnd < spec.bootstrap_files,
+                "log_path": str(tenant_files[file_index]),
+                "bootstrap": file_index < spec.bootstrap_files,
             })
         return tasks
 
@@ -910,7 +937,8 @@ class FleetManager:
         tasks: list[dict[str, Any]] = []
         for spec in pool.specs_of(handle):
             tenant_id = spec.tenant_id
-            if rnd >= len(files[tenant_id]):
+            file_index = self._file_index(spec, files[tenant_id], rnd)
+            if file_index is None:
                 continue
             disk = handle.cursors.get(tenant_id, 0)
             if disk > rnd:
@@ -920,6 +948,11 @@ class FleetManager:
                 if persisted is not None:
                     results[tenant_id] = TenantDayReport.from_dict(persisted)
             else:
+                if disk < rnd and disk < spec.join_round:
+                    # A joiner's first round: no chain exists yet, the
+                    # respawned worker built it fresh -- nothing to
+                    # catch up.
+                    disk = spec.join_round
                 if disk < rnd:
                     raise FleetError(
                         f"tenant {tenant_id!r} checkpoint at round {disk} "
@@ -927,8 +960,8 @@ class FleetManager:
                     )
                 tasks.append({
                     "tenant_id": tenant_id,
-                    "log_path": str(files[tenant_id][rnd]),
-                    "bootstrap": rnd < spec.bootstrap_files,
+                    "log_path": str(files[tenant_id][file_index]),
+                    "bootstrap": file_index < spec.bootstrap_files,
                 })
         response: dict[str, Any] | None = None
         if tasks:

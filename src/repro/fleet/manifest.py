@@ -69,6 +69,14 @@ class TenantSpec:
     pipeline: str = "dns"
     """``"dns"`` or ``"enterprise"`` -- which engine consumes the logs."""
 
+    join_round: int = 0
+    """Fleet round at which this tenant comes online (tenant churn).
+    Its first log file is consumed at round ``join_round``; before
+    that the fleet runs without it.  A tenant *leaves* by simply
+    having fewer files than the fleet has rounds -- no declaration
+    needed.  ``0`` (the default) is the classic everyone-from-round-0
+    fleet."""
+
     model_state: Path | None = None
     """Trained detector state for enterprise tenants (``None`` on the
     DNS path, whose scorers need no training)."""
@@ -117,6 +125,12 @@ def _tenant_from_payload(
             f"tenant {tenant_id!r}: 'bootstrap_files' must be a "
             "non-negative integer"
         )
+    join_round = payload.get("join_round", 0)
+    if not isinstance(join_round, int) or join_round < 0:
+        raise ManifestError(
+            f"tenant {tenant_id!r}: 'join_round' must be a "
+            "non-negative integer"
+        )
     for key in ("internal_suffixes", "server_ips"):
         value = payload.get(key, [])
         # A bare string would silently explode into per-character
@@ -162,6 +176,7 @@ def _tenant_from_payload(
         internal_suffixes=tuple(payload.get("internal_suffixes", ())),
         server_ips=frozenset(payload.get("server_ips", ())),
         pipeline=pipeline,
+        join_round=join_round,
         model_state=model_state,
     )
 

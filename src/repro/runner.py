@@ -214,6 +214,11 @@ class DnsLogRunner:
     server_ips: frozenset[str] = frozenset()
     history: DestinationHistory = field(default_factory=DestinationHistory)
     metrics: object = None
+    ct_edges: object = None
+    """Optional :class:`repro.intelstore.ct.CtIndex`; certificate
+    sibling evidence then flows into every day's detection pass,
+    mirroring the streaming engine's ``rollover(ct_edges=...)``."""
+
     _day_counter: int = 0
 
     def __post_init__(self) -> None:
@@ -230,9 +235,9 @@ class DnsLogRunner:
 
     # ------------------------------------------------------------------
 
-    def _read_day(self, path: Path) -> tuple[DailyTraffic, set[str], int]:
-        with path.open() as handle:
-            records = list(self.funnel.reduce(parse_dns_log(handle)))
+    def _aggregate(self, raw_records) -> tuple[DailyTraffic, set[str], int]:
+        """Funnel + normalize + aggregate raw records into one day."""
+        records = list(self.funnel.reduce(raw_records))
         connections = list(
             normalize_dns_records(
                 records, fold_level=self.config.rarity.fold_level
@@ -247,6 +252,10 @@ class DnsLogRunner:
             unpopular_max_hosts=self.config.rarity.unpopular_max_hosts,
         )
         return traffic, rare, len(records)
+
+    def _read_day(self, path: Path) -> tuple[DailyTraffic, set[str], int]:
+        with path.open() as handle:
+            return self._aggregate(parse_dns_log(handle))
 
     def _commit(self, traffic: DailyTraffic) -> None:
         for domain in traffic.hosts_by_domain:
@@ -264,12 +273,30 @@ class DnsLogRunner:
             self._commit(traffic)
         return len(self.history)
 
-    def process(
-        self, path: Path, *, hint_hosts: Sequence[str] = ()
+    def bootstrap_records(self, raw_records) -> int:
+        """Fold one training day of in-memory raw records into the
+        history (the file-less analogue of :meth:`bootstrap`)."""
+        traffic, _rare, _count = self._aggregate(raw_records)
+        self._commit(traffic)
+        return len(self.history)
+
+    def process_records(
+        self,
+        raw_records,
+        *,
+        label: str | Path = "<records>",
+        hint_hosts: Sequence[str] = (),
     ) -> RunnerDayReport:
-        """Detect on one operational day's log file."""
-        path = Path(path)
-        traffic, rare, record_count = self._read_day(path)
+        """Detect on one operational day of in-memory raw records.
+
+        The file-less analogue of :meth:`process` -- same funnel,
+        normalization and detection pass, so a day fed through here is
+        byte-identical to the same records parsed from a file.  The
+        adversarial evasion harness drives both this and the streaming
+        engine over identical record lists to assert batch/streaming
+        parity without touching disk.
+        """
+        traffic, rare, record_count = self._aggregate(raw_records)
         detection = detect_on_traffic(
             traffic,
             rare,
@@ -277,11 +304,12 @@ class DnsLogRunner:
             scorer=self.scorer,
             config=self.config,
             hint_hosts=hint_hosts,
+            ct_edges=self.ct_edges,
             metrics=self.metrics,
         )
         self.metrics.counter("runner_days_total").inc()
         report = RunnerDayReport(
-            path=path,
+            path=Path(label),
             day=self._day_counter,
             records=record_count,
             rare_domains=rare,
@@ -291,6 +319,16 @@ class DnsLogRunner:
         )
         self._commit(traffic)
         return report
+
+    def process(
+        self, path: Path, *, hint_hosts: Sequence[str] = ()
+    ) -> RunnerDayReport:
+        """Detect on one operational day's log file."""
+        path = Path(path)
+        with path.open() as handle:
+            return self.process_records(
+                parse_dns_log(handle), label=path, hint_hosts=hint_hosts
+            )
 
 
 def run_directory(
@@ -302,6 +340,7 @@ def run_directory(
     internal_suffixes: tuple[str, ...] = (),
     server_ips: frozenset[str] = frozenset(),
     metrics=None,
+    ct_edges=None,
 ) -> list[RunnerDayReport]:
     """Bootstrap on the first ``bootstrap_files`` logs in a directory
     (sorted by name) and detect on the rest."""
@@ -316,6 +355,7 @@ def run_directory(
         internal_suffixes=internal_suffixes,
         server_ips=server_ips,
         metrics=metrics,
+        ct_edges=ct_edges,
     )
     runner.bootstrap(paths[:bootstrap_files])
     return [runner.process(path) for path in paths[bootstrap_files:]]

@@ -2,12 +2,29 @@
 
 from .attacks import Campaign, CampaignFactory, CampaignSpec
 from .benign import BenignConfig, BenignWorkload, Visit
+from .campaigns import (
+    CAMPAIGN_NAMES,
+    FLEET_CAMPAIGN_NAMES,
+    AdversarialCampaignSpec,
+    RealizedCampaign,
+    WorldView,
+    campaign_connections,
+    campaign_dns_records,
+    campaign_proxy_records,
+    churn_fleet_config,
+    realize_campaign,
+)
 from .certs import (
     fleet_cert_observations,
     fleet_rdap_documents,
     write_intel_fixtures,
 )
-from .dga import DomainNameFactory
+from .dga import (
+    ADVERSARIAL_DGA_FAMILIES,
+    DgaFamily,
+    DomainNameFactory,
+    classify_dga,
+)
 from .entities import POPULAR_USER_AGENTS, EnterpriseModel, Host, build_enterprise
 from .enterprise import (
     EnterpriseDataset,
@@ -41,6 +58,19 @@ __all__ = [
     "BenignConfig",
     "BenignWorkload",
     "Visit",
+    "ADVERSARIAL_DGA_FAMILIES",
+    "CAMPAIGN_NAMES",
+    "FLEET_CAMPAIGN_NAMES",
+    "AdversarialCampaignSpec",
+    "RealizedCampaign",
+    "WorldView",
+    "campaign_connections",
+    "campaign_dns_records",
+    "campaign_proxy_records",
+    "churn_fleet_config",
+    "classify_dga",
+    "realize_campaign",
+    "DgaFamily",
     "DomainNameFactory",
     "POPULAR_USER_AGENTS",
     "EnterpriseModel",

@@ -17,6 +17,7 @@ Each campaign reproduces the early-stage pattern the paper detects:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from ..intel.whois_db import WhoisDatabase
@@ -46,6 +47,16 @@ class CampaignSpec:
     duration_days: int = 1
     unregistered_rate: float = 0.0
     """Fraction of domains with no WHOIS record at observation time."""
+
+    seed: int | None = None
+    """Per-campaign seed.  ``None`` (the default) draws beacon timing
+    from the factory's shared randomness stream, which forces
+    memoization of realized days; with a seed set,
+    :meth:`CampaignFactory.day_visits` derives an independent
+    ``random.Random`` per (seed, campaign, day), so a realized day is
+    a pure function of the spec -- byte-identical regardless of
+    generation order.  The adversarial campaign library
+    (:mod:`repro.synthetic.campaigns`) relies on this."""
 
 
 @dataclass
@@ -176,7 +187,14 @@ class CampaignFactory:
         if cached is not None:
             return cached
         base = self.epoch + day * SECONDS_PER_DAY
-        rng = self.rng
+        if campaign.spec.seed is not None:
+            rng = random.Random(
+                (campaign.spec.seed << 20)
+                ^ (zlib.crc32(campaign.campaign_id.encode()) << 4)
+                ^ day
+            )
+        else:
+            rng = self.rng
         visits: list[Visit] = []
         infection_time = base + rng.uniform(8 * 3600.0, 13 * 3600.0)
 

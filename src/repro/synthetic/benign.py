@@ -274,3 +274,13 @@ class BenignWorkload:
     @property
     def popular_domains(self) -> list[str]:
         return [domain for domain, _ in self._popular]
+
+    @property
+    def popular_sites(self) -> tuple[tuple[str, str], ...]:
+        """The popular core as (domain, resolved IP) pairs.
+
+        The adversarial campaign library fronts C&C traffic behind
+        these -- they are the shared CDN-like infrastructure the
+        whitelist/reduction funnel will never flag as rare.
+        """
+        return tuple(self._popular)

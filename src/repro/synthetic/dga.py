@@ -13,11 +13,22 @@ Produces the naming families observed in the paper's case studies:
 
 All generators draw from an injected ``random.Random`` so the world is
 a pure function of its seed.
+
+The adversarial campaign library (:mod:`repro.synthetic.campaigns`)
+additionally needs *standalone* DGA families whose streams are pure
+functions of a per-family seed -- independent of the world's shared
+randomness stream -- plus a classifier that recovers the family label
+from a generated name.  :class:`DgaFamily` and :func:`classify_dga`
+provide that: three structurally distinct ``.info`` families
+(character-distribution, dictionary, hash-hex) whose generators reroll
+any name another family's classifier would claim, so label recovery is
+exact by construction.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 
 _CONSONANTS = "bcdfghjklmnpqrstvwz"
 _VOWELS = "aeiou"
@@ -130,3 +141,115 @@ class DomainNameFactory:
         return self._unique(
             lambda: f"{_syllables(self._rng, 3)}.n{self._rng.randint(1, 9)}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Adversarial DGA families (per-family seeded streams + label recovery)
+# ---------------------------------------------------------------------------
+
+#: Families the adversarial campaign library can rotate through.
+ADVERSARIAL_DGA_FAMILIES = ("chardist", "dictionary", "hashhex")
+
+_HEX_CHARS = frozenset("0123456789abcdef")
+
+#: Character weights of the ``chardist`` family: deliberately skewed
+#: toward letters that are rare in English (and absent from hex), so
+#: the family is separable from both benign names and the other two.
+_CHARDIST_ALPHABET = "qxzjwkvygphmnrstu"
+_CHARDIST_WEIGHTS = (9, 9, 9, 8, 8, 7, 6, 5, 4, 3, 3, 2, 2, 2, 2, 1, 1)
+
+
+def _word_decomposition(label: str) -> bool:
+    """Whether ``label`` splits fully into words from :data:`_WORDS`."""
+    reachable = [False] * (len(label) + 1)
+    reachable[0] = True
+    for end in range(1, len(label) + 1):
+        for word in _WORDS:
+            start = end - len(word)
+            if start >= 0 and reachable[start] \
+                    and label[start:end] == word:
+                reachable[end] = True
+                break
+    return reachable[len(label)]
+
+
+def classify_dga(domain: str) -> str | None:
+    """Recover the adversarial DGA family label of a generated name.
+
+    Purely structural on the leftmost label (all three families share
+    the paper's ``.info`` TLD, Section VI): 16+ hex characters is
+    ``hashhex``; a full decomposition into dictionary words is
+    ``dictionary``; a 10+ letter string that does neither is
+    ``chardist``.  Returns ``None`` for anything else -- benign names
+    never carry the ``.info`` TLD in this world, so false labels
+    cannot arise from the benign workload.
+    """
+    label, _, tld = domain.partition(".")
+    if tld != "info" or not label:
+        return None
+    if len(label) >= 16 and all(c in _HEX_CHARS for c in label):
+        return "hashhex"
+    if _word_decomposition(label):
+        return "dictionary"
+    if len(label) >= 10 and label.isalpha():
+        return "chardist"
+    return None
+
+
+class DgaFamily:
+    """One adversarial DGA family as a standalone seeded stream.
+
+    Unlike :class:`DomainNameFactory` (which shares the world's
+    randomness stream), each instance derives its own
+    ``random.Random`` from ``(family, seed)`` -- two instances with
+    the same arguments generate byte-identical sequences regardless of
+    what else the world generated in between.  Every emitted name
+    classifies back to its family via :func:`classify_dga` (generators
+    reroll collisions with the other families' structures).
+    """
+
+    def __init__(self, family: str, seed: int) -> None:
+        if family not in ADVERSARIAL_DGA_FAMILIES:
+            raise ValueError(
+                f"unknown DGA family {family!r}; "
+                f"expected one of {ADVERSARIAL_DGA_FAMILIES}"
+            )
+        self.family = family
+        self.seed = seed
+        self._rng = random.Random(
+            (zlib.crc32(family.encode()) << 17) ^ (seed & 0xFFFFFFFF)
+        )
+        self._issued: set[str] = set()
+
+    def _make(self) -> str:
+        rng = self._rng
+        if self.family == "hashhex":
+            length = rng.randint(16, 24)
+            return "".join(
+                rng.choice("0123456789abcdef") for _ in range(length)
+            ) + ".info"
+        if self.family == "dictionary":
+            words = rng.sample(_WORDS, rng.randint(2, 3))
+            return "".join(words) + ".info"
+        length = rng.randint(10, 14)
+        return "".join(
+            rng.choices(_CHARDIST_ALPHABET, weights=_CHARDIST_WEIGHTS,
+                        k=length)
+        ) + ".info"
+
+    def generate(self, count: int) -> list[str]:
+        """The next ``count`` unique names of this family's stream."""
+        names: list[str] = []
+        for _ in range(count):
+            for _ in range(10_000):
+                name = self._make()
+                if name not in self._issued \
+                        and classify_dga(name) == self.family:
+                    self._issued.add(name)
+                    names.append(name)
+                    break
+            else:
+                raise RuntimeError(
+                    f"DGA namespace exhausted for {self.family}"
+                )
+        return names

@@ -121,6 +121,27 @@ class FleetScenarioConfig:
     reach it without the certificate edge.  ``0`` (the default) leaves
     generated worlds byte-identical to earlier versions."""
 
+    join_rounds: tuple[int, ...] = ()
+    """Per-tenant fleet round at which the tenant comes online (tenant
+    churn).  Index-aligned with the tenants; empty (the default) means
+    everyone joins at round 0, byte-identical to earlier versions.  A
+    late joiner's files are still its own ``march-01..`` days -- it
+    brings a fresh world whose day 1 coincides with the fleet's round
+    ``join_rounds[i]`` (:func:`write_fleet_layout` records the offset
+    in the manifest)."""
+
+    leave_rounds: tuple[int, ...] = ()
+    """Per-tenant number of daily files to ship before the tenant
+    leaves the fleet; ``0`` entries (and the empty default) mean the
+    tenant stays for the full run.  Leaving is purely a layout fact --
+    the tenant's directory simply ends early."""
+
+    follower_dates: tuple[int, ...] = ()
+    """Per-tenant override of :attr:`follower_date` (index-aligned;
+    the lead entry is ignored).  Lets a late joiner be hit on a date
+    it actually observes.  Empty means every follower is hit on
+    :attr:`follower_date`."""
+
 
 @dataclass(frozen=True)
 class SharedCampaignTruth:
@@ -405,6 +426,13 @@ def generate_fleet_dataset(
             "enterprise_tenants must leave at least the lead tenant "
             "on the DNS path"
         )
+    for name in ("join_rounds", "leave_rounds", "follower_dates"):
+        value = getattr(config, name)
+        if value and len(value) != config.n_tenants:
+            raise ValueError(
+                f"{name} must have one entry per tenant "
+                f"({config.n_tenants}), got {len(value)}"
+            )
     rng = random.Random(config.seed ^ 0xF1EE7)
 
     n_dns = config.n_tenants - config.enterprise_tenants
@@ -436,7 +464,12 @@ def generate_fleet_dataset(
     for index, (tenant_id, dataset) in enumerate(tenants.items()):
         lead = index == 0
         n_hosts = config.lead_hosts if lead else config.follower_hosts
-        date = config.lead_date if lead else config.follower_date
+        if lead:
+            date = config.lead_date
+        elif config.follower_dates:
+            date = config.follower_dates[index]
+        else:
+            date = config.follower_date
         hosts = tuple(
             host.name
             for host in rng.sample(dataset.model.hosts, n_hosts)
@@ -644,28 +677,40 @@ def write_fleet_layout(
     directory.mkdir(parents=True, exist_ok=True)
 
     tenant_entries = []
-    for tenant_id, dataset in fleet.tenants.items():
+    scenario = fleet.config
+    for index, (tenant_id, dataset) in enumerate(fleet.tenants.items()):
+        # Churn: a leaver ships fewer daily files, a joiner carries a
+        # manifest round offset (its files are still its own days 1..N).
+        tenant_days = days
+        if scenario.leave_rounds and scenario.leave_rounds[index]:
+            tenant_days = min(days, scenario.leave_rounds[index])
+        join_round = (
+            scenario.join_rounds[index] if scenario.join_rounds else 0
+        )
         tenant_dir = directory / tenant_id
         tenant_dir.mkdir(exist_ok=True)
         if fleet.pipeline_of(tenant_id) == "enterprise":
             write_enterprise_tenant(
                 dataset,
                 tenant_dir,
-                days=days,
+                days=tenant_days,
                 day_records=lambda march, tid=tenant_id: (
                     fleet.tenant_day_records(tid, march)
                 ),
             )
-            tenant_entries.append({
+            entry = {
                 "id": tenant_id,
                 "directory": tenant_id,
                 "pipeline": "enterprise",
                 "bootstrap_files": bootstrap_files,
                 "pattern": "proxy-*.log",
                 "model_state": "model.json",
-            })
+            }
+            if join_round:
+                entry["join_round"] = join_round
+            tenant_entries.append(entry)
             continue
-        for march_date in range(1, days + 1):
+        for march_date in range(1, tenant_days + 1):
             path = tenant_dir / f"dns-march-{march_date:02d}.log"
             with path.open("w") as handle:
                 for record in fleet.tenant_day_records(tenant_id, march_date):
@@ -673,20 +718,23 @@ def write_fleet_layout(
         truth_path = tenant_dir / "ground_truth.txt"
         with truth_path.open("w") as handle:
             for truth in dataset.campaigns:
-                if truth.march_date > days:
+                if truth.march_date > tenant_days:
                     continue
                 handle.write(
                     f"3/{truth.march_date:02d} case{truth.case} "
                     f"domains={','.join(truth.malicious_domains)}\n"
                 )
-        tenant_entries.append({
+        entry = {
             "id": tenant_id,
             "directory": tenant_id,
             "bootstrap_files": bootstrap_files,
             "pattern": "dns-*.log",
             "internal_suffixes": list(dataset.internal_suffixes),
             "server_ips": sorted(dataset.server_ips),
-        })
+        }
+        if join_round:
+            entry["join_round"] = join_round
+        tenant_entries.append(entry)
 
     intel_dir = directory / "intel"
     intel_dir.mkdir(exist_ok=True)

@@ -8,7 +8,14 @@ from hypothesis import strategies as st
 from repro.eval.metrics import DetectionCounts, score_detections
 from repro.features import fit_linear_model, normalize_age, normalize_validity
 from repro.logs.domains import fold_domain
-from repro.profiling import DestinationHistory
+from repro.profiling import DailyTraffic, DestinationHistory
+from repro.synthetic import (
+    CAMPAIGN_NAMES,
+    AdversarialCampaignSpec,
+    WorldView,
+    campaign_connections,
+    realize_campaign,
+)
 from repro.timing import (
     build_histogram,
     divergence_from_periodic,
@@ -229,3 +236,81 @@ class TestRegressionProperties:
         small = fit_linear_model(("x",), rows, labels, ridge=ridge)
         large = fit_linear_model(("x",), rows, labels, ridge=ridge * 2)
         assert abs(large.weights[0]) <= abs(small.weights[0]) + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Adversarial campaign invariants
+# ---------------------------------------------------------------------------
+
+#: A tiny fixed world view: campaign realization only reads hosts and
+#: the popular core, so properties need no generated dataset.
+_CAMPAIGN_WORLD = WorldView(
+    hosts=tuple(f"host{i:02d}.c0" for i in range(8)),
+    popular_sites=tuple(
+        (f"popular{i}.com", f"10.9.{i}.1") for i in range(6)
+    ),
+)
+
+campaign_specs = st.builds(
+    AdversarialCampaignSpec,
+    campaign=st.sampled_from(CAMPAIGN_NAMES),
+    strength=st.floats(0.0, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**32),
+    start_day=st.integers(0, 40),
+    duration_days=st.integers(1, 5),
+    n_hosts=st.integers(1, 4),
+)
+
+
+class TestCampaignProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(campaign_specs)
+    def test_events_confined_to_active_days(self, spec):
+        """No archetype, at any strength, may leak a single event
+        outside its configured day range -- and every emitted
+        timestamp lies inside its own day."""
+        realized = realize_campaign(_CAMPAIGN_WORLD, spec)
+        days = spec.active_days
+        assert realized.day_visits(days.start - 1) == []
+        assert realized.day_visits(days.stop) == []
+        for day in days:
+            for visit in realized.day_visits(day):
+                assert day * 86_400.0 <= visit.timestamp < (day + 1) * 86_400.0
+                assert visit.host in realized.hosts
+
+    @settings(max_examples=40, deadline=None)
+    @given(campaign_specs)
+    def test_attacker_domains_never_collide_with_whitelist(self, spec):
+        """Attacker-owned names stay disjoint from the benign popular
+        core (the reduction whitelist) by construction; only fronted
+        traffic -- which is not ground truth -- may touch it."""
+        realized = realize_campaign(_CAMPAIGN_WORLD, spec)
+        whitelist = {domain for domain, _ in _CAMPAIGN_WORLD.popular_sites}
+        attacker = set(realized.attacker_domains)
+        assert not attacker & whitelist
+        assert realized.truth_domains() <= attacker
+        for domain in attacker:
+            assert domain.rpartition(".")[2] in ("ru", "info")
+
+    @settings(max_examples=25, deadline=None)
+    @given(campaign_specs, st.integers(1, 7))
+    def test_chunked_ingest_matches_single_finalize(self, spec, chunks):
+        """Feeding a day's campaign traffic to DailyTraffic in any
+        chunking, with interleaved finalize calls, must aggregate to
+        the same state as one ingest + finalize."""
+        realized = realize_campaign(_CAMPAIGN_WORLD, spec)
+        connections = campaign_connections(realized, spec.start_day)
+        whole = DailyTraffic(spec.start_day)
+        whole.ingest(connections)
+        whole.finalize()
+
+        piecewise = DailyTraffic(spec.start_day)
+        size = max(1, len(connections) // chunks)
+        for start in range(0, len(connections), size):
+            piecewise.ingest(connections[start:start + size])
+            piecewise.finalize()
+
+        assert piecewise.hosts_by_domain == whole.hosts_by_domain
+        assert piecewise.timestamps == whole.timestamps
+        assert piecewise.resolved_ips == whole.resolved_ips
+        assert piecewise.no_referer_hosts == whole.no_referer_hosts

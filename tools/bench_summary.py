@@ -132,12 +132,40 @@ def summarize_bp_scale(payload) -> dict | None:
     }
 
 
+def summarize_evasion(payload) -> dict | None:
+    """Headline of the adversarial campaign suite: detection rate at
+    the endpoints of every (campaign, pipeline) curve, parity across
+    every measured point."""
+    curves = payload.get("curves") if isinstance(payload, dict) else None
+    if not curves:
+        return None
+    summary_curves = {}
+    for curve in curves:
+        points = curve.get("points", [])
+        if not points:
+            continue
+        summary_curves[f"{curve['campaign']}/{curve['pipeline']}"] = {
+            "rate_at_0": points[0].get("batch_rate"),
+            "rate_at_max": points[-1].get("batch_rate"),
+            "max_strength": points[-1].get("strength"),
+            "points": len(points),
+            "parity": curve.get("parity"),
+        }
+    return {
+        "smoke": payload.get("smoke"),
+        "strengths": payload.get("strengths"),
+        "curves": summary_curves,
+        "detect_parity": all(c.get("parity") for c in curves),
+    }
+
+
 #: bench JSON filename -> summarizer.
 KNOWN = {
     "streaming_throughput.json": summarize_streaming,
     "enterprise_stream_throughput.json": summarize_streaming,
     "fleet_throughput.json": summarize_fleet,
     "bp_scale.json": summarize_bp_scale,
+    "evasion_suite.json": summarize_evasion,
 }
 
 
@@ -155,8 +183,11 @@ def build_summary(out_dir: pathlib.Path = OUT_DIR) -> dict:
         summary = summarize(payload)
         if summary is not None:
             benches[name.removesuffix(".json")] = summary
+    # Metrics snapshots ride along with their bench; they are not
+    # benches themselves.
     unknown = sorted(
-        p.name for p in out_dir.glob("*.json") if p.name not in KNOWN
+        p.name for p in out_dir.glob("*.json")
+        if p.name not in KNOWN and not p.name.endswith("_metrics.json")
     )
     summary = {
         "benches": benches,
