@@ -22,6 +22,7 @@ scale for CI.  Results go to
 from __future__ import annotations
 
 import copy
+import gc
 import json
 import os
 import time
@@ -34,7 +35,17 @@ from repro.synthetic import EnterpriseDatasetConfig, generate_enterprise_dataset
 from repro.synthetic.fleet import train_enterprise_detector
 
 SMOKE = os.environ.get("ENTERPRISE_BENCH_SMOKE", "") not in ("", "0")
-MICRO_BATCH = 500
+#: Micro-batch size, i.e. the scoring cadence.  Sized to the synthetic
+#: day (~10k proxy events): 1000-event batches still give ~10 full
+#: scoring rounds per day -- detection latency bounded in minutes, not
+#: hours -- without over-paying the fixed per-round costs (verdict
+#: refresh, regression re-score, belief propagation) twenty-plus times
+#: a day.  Per-event latency is amortized and stays microsecond-scale.
+MICRO_BATCH = 1000
+#: best-of-N timing per arm (arms interleaved): one day is a ~100ms
+#: region, well inside single-vCPU scheduler noise, so single-run
+#: numbers mis-rank the arms.  Smoke keeps one run for CI speed.
+TIMING_RUNS = 1 if SMOKE else 4
 
 _BASE = dict(
     seed=2014,
@@ -53,6 +64,35 @@ if SMOKE:
     SCALES = SCALES[:1]
 
 
+def _batch_arm(trained, dataset, warmup_day, day, conns):
+    """One timed bulk ``process_day`` on a fresh copy of the system."""
+    batch = copy.deepcopy(trained)
+    batch.process_day(warmup_day, dataset.day_connections(warmup_day))
+    gc.collect()
+    start = time.perf_counter()
+    batch_result = batch.process_day(day, conns)
+    elapsed = time.perf_counter() - start
+    return elapsed, batch_result.all_detected_domains()
+
+
+def _stream_arm(trained, dataset, warmup_day, conns):
+    """One timed streaming day: micro-batches, score per batch, rollover."""
+    stream = StreamingEnterpriseDetector(copy.deepcopy(trained))
+    stream.ingest(dataset.day_connections(warmup_day))
+    stream.rollover()
+    latencies = []
+    gc.collect()
+    start = time.perf_counter()
+    for batch_events in micro_batches(iter(conns), MICRO_BATCH):
+        t0 = time.perf_counter()
+        stream.ingest(batch_events)
+        stream.score()
+        latencies.append((time.perf_counter() - t0) / len(batch_events))
+    report = stream.rollover()
+    elapsed = time.perf_counter() - start
+    return elapsed, latencies, report, stream
+
+
 def test_enterprise_stream_throughput():
     rows, results = [], []
     for name, config in SCALES:
@@ -62,27 +102,25 @@ def test_enterprise_stream_throughput():
         warmup_day = day - 1
         conns = dataset.day_connections(day)
 
-        # Batch reference: one bulk process_day on its own copy.
-        batch = copy.deepcopy(trained)
-        batch.process_day(warmup_day, dataset.day_connections(warmup_day))
-        start = time.perf_counter()
-        batch_result = batch.process_day(day, conns)
-        batch_elapsed = time.perf_counter() - start
-        batch_detected = batch_result.all_detected_domains()
-
-        # Streaming: micro-batches, a scoring round per batch, rollover.
-        stream = StreamingEnterpriseDetector(copy.deepcopy(trained))
-        stream.ingest(dataset.day_connections(warmup_day))
-        stream.rollover()
-        latencies = []
-        start = time.perf_counter()
-        for batch_events in micro_batches(iter(conns), MICRO_BATCH):
-            t0 = time.perf_counter()
-            stream.ingest(batch_events)
-            stream.score()
-            latencies.append((time.perf_counter() - t0) / len(batch_events))
-        report = stream.rollover()
-        stream_elapsed = time.perf_counter() - start
+        # Both arms run TIMING_RUNS times, interleaved, keeping the
+        # best of each -- see the noise note on ``TIMING_RUNS``.
+        batch_elapsed = stream_elapsed = float("inf")
+        batch_detected = latencies = report = stream = None
+        for attempt in range(TIMING_RUNS):
+            elapsed_b, detected = _batch_arm(
+                trained, dataset, warmup_day, day, conns
+            )
+            batch_elapsed = min(batch_elapsed, elapsed_b)
+            elapsed_s, lat, rep, det = _stream_arm(
+                trained, dataset, warmup_day, conns
+            )
+            stream_elapsed = min(stream_elapsed, elapsed_s)
+            if attempt == 0:
+                batch_detected, latencies, report, stream = (
+                    detected, lat, rep, det
+                )
+            parity = set(rep.detected) == detected
+            assert parity, (sorted(rep.detected), sorted(detected))
 
         parity = set(report.detected) == batch_detected
         assert parity, (sorted(report.detected), sorted(batch_detected))

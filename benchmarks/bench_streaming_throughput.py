@@ -16,15 +16,21 @@ scale repeats the streaming run with a live
 :class:`~repro.obs.metrics.MetricsRegistry` to price the observability
 plane: detections must match the uninstrumented run exactly, the
 overhead percentage is recorded, and the registry snapshot's per-stage
-timing breakdown rides along.  Results go to
+timing breakdown rides along.  ``STREAMING_BENCH_SMOKE=1`` keeps only
+the smallest scale with a single timing run -- the CI ingest-stage
+smoke, gating on detection parity and the presence of the stage
+breakdown rather than on timings.  Results go to
 ``benchmarks/out/streaming_throughput.json`` (plus the usual rendered
 table) for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import gc
 import json
+import os
 import time
+from statistics import median
 
 from conftest import OUT_DIR, save_output
 
@@ -35,17 +41,26 @@ from repro.obs.metrics import MetricsRegistry
 from repro.profiling.history import DestinationHistory
 from repro.profiling.rare import DailyTraffic, extract_rare_domains
 from repro.runner import detect_on_traffic
-from repro.streaming import StreamingDetector, micro_batches
+from repro.streaming import StreamingDetector, dns_batch_stream
 from repro.synthetic import generate_lanl_dataset
 from repro.synthetic.lanl import LanlConfig
 
+SMOKE = os.environ.get("STREAMING_BENCH_SMOKE", "") not in ("", "0")
 SCALES = (
     ("small", LanlConfig(seed=7, n_hosts=40, bootstrap_days=2)),
     ("medium", LanlConfig(seed=7, n_hosts=100, bootstrap_days=2)),
     ("large", LanlConfig(seed=7, n_hosts=220, bootstrap_days=2,
                          browsing_visits_per_host=9)),
 )
+if SMOKE:
+    SCALES = SCALES[:1]
 MICRO_BATCH = 500
+#: best-of-N timing per arm (arms interleaved) -- see the overhead
+#: measurement note in ``test_streaming_throughput``.  Odd so the
+#: paired-ratio median is a real sample, not an interpolation.  The
+#: CI smoke keeps one run: it gates on parity and the stage breakdown,
+#: not on the (noise-dominated) single-run numbers.
+TIMING_RUNS = 1 if SMOKE else 5
 
 
 def _bootstrap(dataset, metrics=None) -> StreamingDetector:
@@ -63,17 +78,23 @@ def _bootstrap(dataset, metrics=None) -> StreamingDetector:
 def _stream_day(dataset, records, metrics=None):
     """One streaming pass over a day: micro-batches, score per batch.
 
-    Returns ``(elapsed, per_event_latencies, streamed, report)``.
+    Uses the fused columnar ingress (:func:`dns_batch_stream`), which
+    is the deployment-shaped hot path; detections are asserted equal
+    to the scalar batch pass, so the comparison stays apples-to-apples
+    on outcome.  Returns ``(elapsed, per_event_latencies, streamed,
+    report)``.
     """
     detector = _bootstrap(dataset, metrics)
     latencies = []
     streamed = 0
+    # Collect garbage from prior passes so a major collection from
+    # *their* allocations cannot land inside this timed region (the
+    # interleaved best-of-N runs otherwise cross-contaminate).
+    gc.collect()
     start = time.perf_counter()
-    for batch in micro_batches(
-        normalize_dns_records(
-            detector.funnel.reduce(iter(records)), fold_level=3
-        ),
-        MICRO_BATCH,
+    for batch in dns_batch_stream(
+        iter(records), detector.funnel, fold_level=3,
+        batch_size=MICRO_BATCH,
     ):
         t0 = time.perf_counter()
         detector.submit(batch)
@@ -92,6 +113,7 @@ def _batch_day(dataset, history: DestinationHistory, records) -> tuple[float, se
         internal_suffixes=dataset.internal_suffixes,
         server_ips=dataset.server_ips,
     )
+    gc.collect()
     start = time.perf_counter()
     funnel = ReductionFunnel(
         dataset.internal_suffixes, dataset.server_ips, fold_level=3
@@ -126,34 +148,50 @@ def test_streaming_throughput():
             dataset, batch_detector.history, records
         )
 
-        # Streaming: micro-batches with a scoring round per batch
-        # (best of two runs per mode to keep the overhead comparison
-        # out of scheduler noise).
-        stream_elapsed, latencies, streamed, report, detector = _stream_day(
-            dataset, records
-        )
-        repeat_elapsed, _, _, _, _ = _stream_day(dataset, records)
-        stream_elapsed = min(stream_elapsed, repeat_elapsed)
+        # Streaming: micro-batches with a scoring round per batch.
+        # Both arms (uninstrumented / live registry) run N times with
+        # the arms interleaved, taking the best of each for the
+        # throughput columns -- the observability overhead is ~1%,
+        # well under single-run scheduler noise, so anything less
+        # reports spurious negative overheads.  The overhead itself is
+        # the *median of the per-attempt paired ratios*: the two arms
+        # of one attempt run back to back and share whatever load the
+        # (single-vCPU) box is under, so the ratio cancels drift that
+        # independent best-of-N minima cannot.
+        stream_elapsed = on_elapsed = float("inf")
+        latencies = streamed = report = detector = None
+        metrics_parity = True
+        ratios = []
+        for attempt in range(TIMING_RUNS):
+            elapsed, lat, n_streamed, rep, det = _stream_day(
+                dataset, records
+            )
+            if attempt == 0:
+                latencies, streamed, report, detector = (
+                    lat, n_streamed, rep, det
+                )
+            stream_elapsed = min(stream_elapsed, elapsed)
+            registry = MetricsRegistry()
+            elapsed_on, _, _, on_report, _ = _stream_day(
+                dataset, records, metrics=registry
+            )
+            if elapsed_on < on_elapsed:
+                # Stage breakdown from the best instrumented attempt,
+                # so the reported split matches the reported total.
+                on_elapsed = elapsed_on
+                stage_seconds = registry.snapshot().timings()
+            ratios.append(elapsed_on / elapsed)
+            run_parity = list(on_report.detected) == list(
+                (rep if attempt else report).detected
+            )
+            metrics_parity = metrics_parity and run_parity
+            assert run_parity, (on_report.detected, report.detected)
 
         assert streamed == n_events
         verdict_stats = detector.verdict_stats.as_dict()
         parity = set(report.detected) == batch_detected
         assert parity, (report.detected, batch_detected)
-
-        # The same day with a live registry: identical detections, and
-        # the overhead the observability plane costs when switched on.
-        registry = MetricsRegistry()
-        on_elapsed, _, _, on_report, _ = _stream_day(
-            dataset, records, metrics=registry
-        )
-        on_repeat, _, _, _, _ = _stream_day(
-            dataset, records, metrics=MetricsRegistry()
-        )
-        on_elapsed = min(on_elapsed, on_repeat)
-        metrics_parity = list(on_report.detected) == list(report.detected)
-        assert metrics_parity, (on_report.detected, report.detected)
-        overhead_pct = (on_elapsed / stream_elapsed - 1.0) * 100.0
-        stage_seconds = registry.snapshot().timings()
+        overhead_pct = (median(ratios) - 1.0) * 100.0
 
         latencies.sort()
         p50 = latencies[len(latencies) // 2] * 1e6
@@ -175,6 +213,14 @@ def test_streaming_throughput():
             "micro_batch": MICRO_BATCH,
             "batch_events_per_sec": batch_eps,
             "stream_events_per_sec": stream_eps,
+            # Ingest-stage rate from the instrumented arm's span sum:
+            # how fast the columnar path folds events into the window,
+            # excluding generation and scoring.
+            "ingest_events_per_sec": (
+                n_events / stage_seconds["stream_ingest"]
+                if stage_seconds.get("stream_ingest")
+                else None
+            ),
             "stream_event_latency_p50_us": p50,
             "stream_event_latency_p99_us": p99,
             "batch_elapsed_sec": batch_elapsed,

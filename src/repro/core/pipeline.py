@@ -58,6 +58,14 @@ from .scoring import (
     ScoredDomain,
 )
 
+#: Parity-only path: ``detect_on_enterprise_traffic(...,
+#: use_index=False)`` keeps the legacy per-domain feature extraction
+#: and similarity scoring purely as the reference the indexed/batched
+#: path is pinned against (``pytest -m parity``).  Production always
+#: runs ``use_index=True``; the legacy branch is kept green only for
+#: those tests and is slated for retirement (ROADMAP).
+_parity = "detect_on_enterprise_traffic(use_index=False)"
+
 DailyBatch = tuple[int, Sequence[Connection]]
 
 
@@ -315,13 +323,7 @@ class EnterpriseDetector:
         self, traffic: DailyTraffic, rare: set[str]
     ) -> list[AutomationVerdict]:
         """Automation test restricted to rare domains (Section IV-C)."""
-        series = (
-            (key, times)
-            for key, times in sorted(traffic.timestamps.items())
-            if key[1] in rare
-        )
-        traffic.finalize()
-        return self.automation.automated_pairs(series)
+        return self.automation.automated_pairs(traffic.rare_series(rare))
 
     def _profile_day(self, day: int, connections: Sequence[Connection]) -> None:
         """Stage and commit one day into the histories (end of day)."""
@@ -387,20 +389,15 @@ def detect_on_enterprise_traffic(
     stage_seconds: dict[str, float] = {}
     when = (day + 1) * 86_400.0
     with obs.span("detect_automation") as automation_span:
-        traffic.finalize()
-        series = [
-            (key, times)
-            for key, times in sorted(traffic.timestamps.items())
-            if key[1] in rare
-        ]
-        verdicts = automation.automated_pairs(series)
+        verdicts = automation.automated_pairs(traffic.rare_series(rare))
         auto_hosts = _automated_hosts_by_domain(verdicts)
     stage_seconds["automation"] = automation_span.elapsed
 
     with obs.span("detect_cc") as cc_span:
         cc_domains: list[ScoredDomain] = []
-        for domain in sorted(auto_hosts):
-            score = cc_scorer.score(domain, traffic, auto_hosts[domain], when)
+        candidates = sorted(auto_hosts)
+        scores = cc_scorer.score_all(candidates, traffic, auto_hosts, when)
+        for domain, score in zip(candidates, scores):
             if score >= cc_scorer.threshold:
                 cc_domains.append(ScoredDomain(domain, score))
         cc_domains.sort(key=lambda s: (-s.score, s.domain))

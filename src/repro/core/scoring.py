@@ -27,7 +27,7 @@ randomized tests and ``bench_bp_scale`` assert.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from collections.abc import Iterable, Sequence, Set
+from collections.abc import Iterable, Mapping, Sequence, Set
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +74,30 @@ class RegressionCCScorer:
         """Regression C&C score for a domain's automated hosts at ``when``."""
         features = self.extractor.cc_features(domain, traffic, automated_hosts, when)
         return self.model.score(features.as_vector())
+
+    def score_all(
+        self,
+        domains: Sequence[str],
+        traffic: DailyTraffic,
+        automated_hosts: Mapping[str, set[str]],
+        when: float,
+    ) -> list[float]:
+        """Scores for a day's candidates in one matrix pass.
+
+        Builds one feature matrix
+        (:meth:`~repro.features.extract.FeatureExtractor.cc_feature_matrix`)
+        and scores it column-wise
+        (:meth:`~repro.features.regression.LinearModel.score_many`);
+        both steps are documented bit-identical to the per-domain
+        :meth:`score` loop in ``domains`` order, including the WHOIS
+        imputation state evolution.
+        """
+        if not domains:
+            return []
+        matrix = self.extractor.cc_feature_matrix(
+            domains, traffic, automated_hosts, when
+        )
+        return self.model.score_many(matrix).tolist()
 
     def is_cc(
         self,

@@ -48,12 +48,7 @@ class LanlDayContext:
 
     def rare_series(self) -> list[tuple[tuple[str, str], list[float]]]:
         """(host, domain) timestamp series restricted to rare domains."""
-        self.traffic.finalize()
-        return [
-            (key, times)
-            for key, times in sorted(self.traffic.timestamps.items())
-            if key[1] in self.rare
-        ]
+        return self.traffic.rare_series(self.rare)
 
 
 @dataclass

@@ -25,8 +25,10 @@ RareUA / registration features above.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..logs.domains import subnet_key
 from ..profiling.rare import DailyTraffic
@@ -180,6 +182,43 @@ class FeatureExtractor:
             dom_age=registration.dom_age,
             dom_validity=registration.dom_validity,
         )
+
+    def cc_feature_matrix(
+        self,
+        domains: Sequence[str],
+        traffic: DailyTraffic,
+        automated_hosts: Mapping[str, set[str]],
+        when: float,
+    ) -> np.ndarray:
+        """One (n_domains, 6) C&C feature matrix for a day's candidates.
+
+        Row ``i`` holds exactly :meth:`cc_features` of ``domains[i]``
+        (same scalar expressions, written straight into the matrix), so
+        scoring the matrix with
+        :meth:`~repro.features.regression.LinearModel.score_many` is
+        bit-identical to scoring each domain alone.  Rows are built in
+        the given ``domains`` order because :meth:`_registration`
+        advances the WHOIS imputation counters per lookup -- callers
+        must pass the same order the per-domain loop used
+        (``sorted(auto_hosts)`` in Detect_C&C).
+        """
+        matrix = np.empty((len(domains), len(CC_FEATURE_NAMES)))
+        hosts_by_domain = traffic.hosts_by_domain
+        no_referer = traffic.no_referer_hosts
+        rare_ua = traffic.rare_ua_hosts
+        fraction = self._fraction
+        for row, domain in enumerate(domains):
+            hosts = hosts_by_domain.get(domain, set())
+            registration = self._registration(domain, when)
+            matrix[row, 0] = scale_count(len(hosts))
+            matrix[row, 1] = scale_count(
+                len(automated_hosts[domain] & hosts)
+            )
+            matrix[row, 2] = fraction(no_referer.get(domain), hosts)
+            matrix[row, 3] = fraction(rare_ua.get(domain), hosts)
+            matrix[row, 4] = registration.dom_age
+            matrix[row, 5] = registration.dom_validity
+        return matrix
 
     # -- similarity features (IV-D) ---------------------------------------
 

@@ -2,6 +2,7 @@
 
 from .records import (
     Connection,
+    ConnectionBatch,
     DhcpLease,
     DnsRecord,
     DnsRecordType,
@@ -47,6 +48,7 @@ from .reduction import DNS_REDUCTION_STEPS, ReductionFunnel, ReductionStats
 
 __all__ = [
     "Connection",
+    "ConnectionBatch",
     "DhcpLease",
     "DnsRecord",
     "DnsRecordType",

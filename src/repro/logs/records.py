@@ -150,3 +150,41 @@ class Connection:
     def day(self) -> int:
         """Day index (UTC) of the event, for daily batching."""
         return int(self.timestamp // 86_400)
+
+
+@dataclass(slots=True)
+class ConnectionBatch:
+    """Column-oriented micro-batch of DNS :class:`Connection` events.
+
+    Rows are stored as four parallel lists -- one value per event --
+    instead of one object per event.  The columnar traffic store
+    ingests the lists directly, so the streaming hot path never
+    materializes per-event objects at all.  DNS logs carry no HTTP
+    context, so the UA/referer/status columns (always ``None``/``0``
+    there) are omitted; proxy-derived events keep using
+    :class:`Connection`.
+
+    Iterating a batch yields equivalent :class:`Connection` objects,
+    so any consumer written against the scalar event type accepts a
+    batch unchanged (at scalar cost).
+    """
+
+    timestamps: list[float]
+    hosts: list[str]
+    domains: list[str]
+    resolved_ips: list[str]
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __iter__(self):
+        """Yield the rows as scalar :class:`Connection` events."""
+        for timestamp, host, domain, ip in zip(
+            self.timestamps, self.hosts, self.domains, self.resolved_ips
+        ):
+            yield Connection(
+                timestamp=timestamp,
+                host=host,
+                domain=domain,
+                resolved_ip=ip,
+            )

@@ -20,9 +20,9 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from ..obs.metrics import NULL_METRICS
-from .dns import is_a_record, is_external_query, is_from_client
+from .dns import is_external_query
 from .domains import fold_domain
-from .records import DnsRecord
+from .records import DnsRecord, DnsRecordType
 
 SECONDS_PER_DAY = 86_400
 
@@ -110,55 +110,250 @@ class ReductionFunnel:
         }
         self._pending_seen = 0
         self._pending_kept = 0
-        self._pending_drops = dict.fromkeys(self._drop_counters, 0)
+        self._pend_drop_a = 0
+        self._pend_drop_query = 0
+        self._pend_drop_server = 0
+        # Streaming hot-path caches: folding and the internal-namespace
+        # test are pure functions of the raw domain name (the suffixes
+        # are fixed per funnel), so both are computed once per distinct
+        # domain.  Per-day stats are equally redundant per record: a
+        # domain's step sets only change the first time the domain
+        # reaches a deeper step that day (tracked in ``_dom_depth``),
+        # and the per-step record counts are plain ints flushed into
+        # the stats dicts at day boundaries and on
+        # :meth:`flush_metrics`.  Byte-identical to the uncached path
+        # at every flush point.
+        self._domain_memo: dict[str, tuple[str, bool]] = {}
+        self._stat_day: int | None = None
+        self._dom_depth: dict[str, int] = {}
+        self._dom_all: set[str] = set()
+        self._dom_a: set[str] = set()
+        self._dom_ext: set[str] = set()
+        self._dom_kept: set[str] = set()
+        self._pend_all = 0
+        self._pend_a = 0
+        self._pend_ext = 0
+        self._pend_kept = 0
 
     _FLUSH_EVERY = 4096
+
+    def _flush_stat_counts(self) -> None:
+        """Fold the deferred per-step record counts into the stats."""
+        day = self._stat_day
+        if day is None:
+            return
+        records = self.stats.records
+        if self._pend_all:
+            records["all"][day] += self._pend_all
+            self._pend_all = 0
+        if self._pend_a:
+            records["a_records"][day] += self._pend_a
+            self._pend_a = 0
+        if self._pend_ext:
+            records["filter_internal_queries"][day] += self._pend_ext
+            self._pend_ext = 0
+        if self._pend_kept:
+            records["filter_internal_servers"][day] += self._pend_kept
+            self._pend_kept = 0
 
     def flush_metrics(self) -> None:
         """Fold the locally accumulated counts into the registry.
 
         Called automatically on the flush cadence and when a ``reduce``
         pass is exhausted; snapshots taken at day/round barriers are
-        therefore exact.
+        therefore exact.  Also folds the deferred per-step record
+        counts into :attr:`stats`, so the Figure 2 numbers are exact at
+        the same points.
         """
+        self._flush_stat_counts()
         if self._pending_seen:
             self._seen_counter.inc(self._pending_seen)
             self._pending_seen = 0
         if self._pending_kept:
             self._kept_counter.inc(self._pending_kept)
             self._pending_kept = 0
-        for stage, pending in self._pending_drops.items():
-            if pending:
-                self._drop_counters[stage].inc(pending)
-                self._pending_drops[stage] = 0
+        if self._pend_drop_a:
+            self._drop_counters["a_records"].inc(self._pend_drop_a)
+            self._pend_drop_a = 0
+        if self._pend_drop_query:
+            self._drop_counters["internal_query"].inc(self._pend_drop_query)
+            self._pend_drop_query = 0
+        if self._pend_drop_server:
+            self._drop_counters["internal_server"].inc(self._pend_drop_server)
+            self._pend_drop_server = 0
 
     def reduce_record(self, record: DnsRecord) -> DnsRecord | None:
         """Run one record through the filters; ``None`` when dropped.
 
         This is the single-event path the streaming engine uses; the
         accounting is identical to :meth:`reduce` so a replayed stream
-        produces the same Figure 2 funnel as a bulk pass.
+        produces the same Figure 2 funnel as a bulk pass.  The filter
+        predicates are inlined versions of
+        :func:`~repro.logs.dns.is_a_record` /
+        :func:`~repro.logs.dns.is_from_client` (memoized
+        :func:`~repro.logs.dns.is_external_query` in between), applied
+        in the same order with the same short-circuiting.
         """
         day = int(record.timestamp // SECONDS_PER_DAY)
-        domain = fold_domain(record.domain, self.fold_level)
-        self.stats.observe("all", day, domain)
+        cached = self._domain_memo.get(record.domain)
+        if cached is None:
+            cached = (
+                fold_domain(record.domain, self.fold_level),
+                is_external_query(record, self.internal_suffixes),
+            )
+            self._domain_memo[record.domain] = cached
+        domain, external = cached
+        if day != self._stat_day:
+            self._flush_stat_counts()
+            self._stat_day = day
+            domains = self.stats.domains
+            self._dom_all = domains["all"][day]
+            self._dom_a = domains["a_records"][day]
+            self._dom_ext = domains["filter_internal_queries"][day]
+            self._dom_kept = domains["filter_internal_servers"][day]
+            self._dom_depth = {}
+        # How deep the record gets through the funnel: 1 = dropped as
+        # non-A, 2 = internal query, 3 = internal server, 4 = kept.
+        if record.record_type is not DnsRecordType.A:
+            depth = 1
+        elif not external:
+            depth = 2
+        elif record.source_ip in self.server_ips:
+            depth = 3
+        else:
+            depth = 4
+        prev = self._dom_depth.get(domain, 0)
+        if depth > prev:
+            self._dom_depth[domain] = depth
+            if prev < 1:
+                self._dom_all.add(domain)
+            if prev < 2 <= depth:
+                self._dom_a.add(domain)
+            if prev < 3 <= depth:
+                self._dom_ext.add(domain)
+            if prev < 4 <= depth:
+                self._dom_kept.add(domain)
+        self._pend_all += 1
         self._pending_seen += 1
         if self._pending_seen >= self._FLUSH_EVERY:
             self.flush_metrics()
-        if not is_a_record(record):
-            self._pending_drops["a_records"] += 1
+        if depth == 1:
+            self._pend_drop_a += 1
             return None
-        self.stats.observe("a_records", day, domain)
-        if not is_external_query(record, self.internal_suffixes):
-            self._pending_drops["internal_query"] += 1
+        self._pend_a += 1
+        if depth == 2:
+            self._pend_drop_query += 1
             return None
-        self.stats.observe("filter_internal_queries", day, domain)
-        if not is_from_client(record, self.server_ips):
-            self._pending_drops["internal_server"] += 1
+        self._pend_ext += 1
+        if depth == 3:
+            self._pend_drop_server += 1
             return None
-        self.stats.observe("filter_internal_servers", day, domain)
+        self._pend_kept += 1
         self._pending_kept += 1
         return record
+
+    def reduce_batch(self, records: Iterable[DnsRecord]) -> list[DnsRecord]:
+        """Run a chunk of records through the filters; returns the kept.
+
+        The chunked twin of :meth:`reduce_record`: identical filters,
+        identical accounting at every flush point, with the per-record
+        state hoisted into locals and folded back once per chunk.  The
+        fused columnar ingress uses this so the per-record cost is one
+        tight loop iteration instead of a method call.
+        """
+        memo = self._domain_memo
+        fold_level = self.fold_level
+        suffixes = self.internal_suffixes
+        server_ips = self.server_ips
+        a_type = DnsRecordType.A
+        dom_depth = self._dom_depth
+        dom_all = self._dom_all
+        dom_a = self._dom_a
+        dom_ext = self._dom_ext
+        dom_kept = self._dom_kept
+        stat_day = self._stat_day
+        n_all = n_a = n_ext = n_kept = 0
+        drop_a = drop_query = drop_server = 0
+        seen_prior = kept_prior = 0
+        kept: list[DnsRecord] = []
+        keep = kept.append
+        for record in records:
+            day = int(record.timestamp // SECONDS_PER_DAY)
+            if day != stat_day:
+                # Day boundary: fold the chunk-local counts back and
+                # rebind every per-day structure (self and locals).
+                seen_prior += n_all
+                kept_prior += n_kept
+                self._pend_all += n_all
+                self._pend_a += n_a
+                self._pend_ext += n_ext
+                self._pend_kept += n_kept
+                n_all = n_a = n_ext = n_kept = 0
+                self._flush_stat_counts()
+                stat_day = self._stat_day = day
+                domains = self.stats.domains
+                dom_all = self._dom_all = domains["all"][day]
+                dom_a = self._dom_a = domains["a_records"][day]
+                dom_ext = self._dom_ext = (
+                    domains["filter_internal_queries"][day]
+                )
+                dom_kept = self._dom_kept = (
+                    domains["filter_internal_servers"][day]
+                )
+                dom_depth = self._dom_depth = {}
+            cached = memo.get(record.domain)
+            if cached is None:
+                cached = (
+                    fold_domain(record.domain, fold_level),
+                    is_external_query(record, suffixes),
+                )
+                memo[record.domain] = cached
+            domain, external = cached
+            if record.record_type is not a_type:
+                depth = 1
+            elif not external:
+                depth = 2
+            elif record.source_ip in server_ips:
+                depth = 3
+            else:
+                depth = 4
+            prev = dom_depth.get(domain, 0)
+            if depth > prev:
+                dom_depth[domain] = depth
+                if prev < 1:
+                    dom_all.add(domain)
+                if prev < 2 <= depth:
+                    dom_a.add(domain)
+                if prev < 3 <= depth:
+                    dom_ext.add(domain)
+                if prev < 4 <= depth:
+                    dom_kept.add(domain)
+            n_all += 1
+            if depth == 1:
+                drop_a += 1
+                continue
+            n_a += 1
+            if depth == 2:
+                drop_query += 1
+                continue
+            n_ext += 1
+            if depth == 3:
+                drop_server += 1
+                continue
+            n_kept += 1
+            keep(record)
+        self._pend_all += n_all
+        self._pend_a += n_a
+        self._pend_ext += n_ext
+        self._pend_kept += n_kept
+        self._pend_drop_a += drop_a
+        self._pend_drop_query += drop_query
+        self._pend_drop_server += drop_server
+        self._pending_seen += seen_prior + n_all
+        self._pending_kept += kept_prior + n_kept
+        if self._pending_seen >= self._FLUSH_EVERY:
+            self.flush_metrics()
+        return kept
 
     def reduce(self, records: Iterable[DnsRecord]) -> Iterator[DnsRecord]:
         """Yield records surviving all filters, updating the counters."""

@@ -36,11 +36,12 @@ from ..logs.domains import subnet_key
 from ..logs.records import Connection
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .rare import DailyTraffic
+    from .rare import DailyTraffic, IngestDigest
 
 #: Shift packing (host_id, domain_id) into one dict key; ids are dense
 #: small ints, so the packed key stays a machine-word int in practice.
 _PAIR_SHIFT = 32
+_DOMAIN_MASK = (1 << _PAIR_SHIFT) - 1
 
 
 class TrafficIndex:
@@ -49,10 +50,16 @@ class TrafficIndex:
     def __init__(self, traffic: "DailyTraffic") -> None:
         self.traffic = traffic
         self.version = 0
-        self._host_ids: dict[str, int] = {}
-        self._domain_ids: dict[str, int] = {}
-        self._host_names: list[str] = []
-        self._domain_names: list[str] = []
+        # The intern tables are SHARED with the traffic store: both
+        # sides assign ids from the same dicts, so the packed pair ids
+        # in an :class:`IngestDigest` are directly usable here -- the
+        # digest fold touches no string keys at all.  Per-id rows are
+        # grown on demand because the traffic store may intern ids
+        # before the index sees them.
+        self._host_ids: dict[str, int] = traffic._host_ids
+        self._domain_ids: dict[str, int] = traffic._domain_ids
+        self._host_names: list[str] = traffic._host_names
+        self._domain_names: list[str] = traffic._domain_names
         #: per domain id: host ids in first-contact order (CSR rows).
         self._hosts_of: list[list[int]] = []
         #: per domain id: first-contact time aligned with ``_hosts_of``.
@@ -86,12 +93,73 @@ class TrafficIndex:
         self.version += 1
 
     def observe(self, connections: Iterable[Connection]) -> None:
-        """Fold new connections in (called from ``DailyTraffic.ingest``)."""
+        """Fold new connections in (per-event parity path).
+
+        :meth:`observe_digest` is the batched equivalent the columnar
+        ingest uses; this loop remains for callers holding raw
+        connections and for the parity tests pinning the two paths
+        together.
+        """
         for conn in connections:
             self._record(conn.host, conn.domain, conn.timestamp)
             if conn.resolved_ip:
                 self._record_ip(conn.domain, conn.resolved_ip)
         self.version += 1
+
+    def observe_digest(self, digest: "IngestDigest") -> None:
+        """Fold one columnar ingest batch in, without re-looping events.
+
+        Bit-identical to :meth:`observe` on the batch's connections:
+        each touched pair's earliest batch timestamp (``chunk[0]`` --
+        chunks are sorted) is all ``_record`` can ever keep from the
+        batch, pairs arrive in first-appearance order so new rows land
+        in the order per-event processing would produce, and novel
+        (domain, ip) resolutions replay in arrival order.  The digest's
+        packed pair ids come from the shared intern tables, so the pair
+        loop does pure integer work -- no string lookups.
+        """
+        first = self._first
+        slot = self._slot
+        hosts_of = self._hosts_of
+        first_of = self._first_of
+        domains_of = self._domains_of
+        for pair, chunk in zip(digest.pairs, digest.chunks):
+            known = first.get(pair)
+            if known is None:
+                h_id = pair >> _PAIR_SHIFT
+                d_id = pair & _DOMAIN_MASK
+                while len(domains_of) <= h_id:
+                    domains_of.append([])
+                if len(hosts_of) <= d_id:
+                    self._grow_domain_rows(d_id)
+                timestamp = chunk[0]
+                first[pair] = timestamp
+                row = hosts_of[d_id]
+                slot[pair] = len(row)
+                row.append(h_id)
+                first_of[d_id].append(timestamp)
+                domains_of[h_id].append(d_id)
+            elif chunk[0] < known:
+                first[pair] = chunk[0]
+                first_of[pair & _DOMAIN_MASK][slot[pair]] = chunk[0]
+        for domain, ip in digest.novel_ips:
+            self._record_ip(domain, ip)
+        self.version += 1
+
+    def _grow_domain_rows(self, d_id: int) -> None:
+        """Extend the per-domain rows to cover ``d_id``.
+
+        Ids can be interned by the traffic store before the index
+        records them, so row growth is decoupled from id assignment;
+        intermediate ids get empty rows, which downstream scorers
+        already treat as "no traffic today".
+        """
+        while len(self._hosts_of) <= d_id:
+            self._hosts_of.append([])
+            self._first_of.append([])
+            self._keys24.append(set())
+            self._keys16.append(set())
+            self._ips_seen.append(set())
 
     def _intern_host(self, host: str) -> int:
         h_id = self._host_ids.get(host)
@@ -99,6 +167,7 @@ class TrafficIndex:
             h_id = len(self._host_names)
             self._host_ids[host] = h_id
             self._host_names.append(host)
+        while len(self._domains_of) <= h_id:
             self._domains_of.append([])
         return h_id
 
@@ -108,11 +177,7 @@ class TrafficIndex:
             d_id = len(self._domain_names)
             self._domain_ids[domain] = d_id
             self._domain_names.append(domain)
-            self._hosts_of.append([])
-            self._first_of.append([])
-            self._keys24.append(set())
-            self._keys16.append(set())
-            self._ips_seen.append(set())
+        self._grow_domain_rows(d_id)
         return d_id
 
     def _record(self, host: str, domain: str, timestamp: float) -> None:
@@ -143,8 +208,16 @@ class TrafficIndex:
     # ------------------------------------------------------------------
 
     def domain_id(self, domain: str) -> int | None:
-        """Dense id for a domain name; ``None`` when never observed."""
-        return self._domain_ids.get(domain)
+        """Dense id for a domain name; ``None`` when never indexed.
+
+        A domain the shared intern tables know but the index has no
+        row for (interned after the last fold) reports ``None`` --
+        same contract as before intern-table sharing.
+        """
+        d_id = self._domain_ids.get(domain)
+        if d_id is None or d_id >= len(self._hosts_of):
+            return None
+        return d_id
 
     def domain_name(self, d_id: int) -> str:
         """Name interned under ``d_id``."""

@@ -1,4 +1,4 @@
-"""Daily rare-destination extraction (Section III-A).
+"""Daily rare-destination extraction (Section III-A) over a columnar core.
 
 A destination is **rare** on a day when it is both
 
@@ -10,27 +10,171 @@ A destination is **rare** on a day when it is both
 the per-domain / per-host indexes everything downstream consumes:
 the rare set, the ``dom_host`` and ``host_rdom`` maps of Algorithm 1,
 and per-(host, domain) timestamp series for the timing detector.
+
+**Columnar layout.**  Events land in typed NumPy columns -- one
+``int64`` column of packed ``(host_id << 32) | domain_id`` pair keys
+and one ``float64`` column of timestamps -- grown by amortized
+doubling.  Each :meth:`DailyTraffic.ingest` call appends its batch,
+lexsorts the new span by (pair, time) *once*, and merges the per-pair
+runs into sorted per-pair series; the same grouped pass produces an
+:class:`IngestDigest` that the streaming window, engine and
+:class:`~repro.profiling.index.TrafficIndex` consume instead of
+re-looping over the batch event by event.  The public ``timestamps``
+mapping is a zero-copy view over the per-pair series and remains
+interchangeable with the legacy ``dict[(host, domain), list[float]]``
+(same keys, same sorted values, same equality semantics), so every
+consumer and checkpoint round-trip stays byte-identical.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable, Set
+from collections.abc import Iterable, Iterator, Mapping, Sequence, Set
+from dataclasses import dataclass, field
 
-from ..logs.records import Connection
+import numpy as np
+
+from ..logs.records import Connection, ConnectionBatch
 from .history import DestinationHistory
 from .index import RareDomainsByHostView, RareDomHostView, TrafficIndex
 
+#: Shift packing (host_id, domain_id) into one int key; ids are dense
+#: small ints, so the packed key stays a machine-word int in practice.
+_PAIR_SHIFT = 32
+_DOMAIN_MASK = (1 << _PAIR_SHIFT) - 1
+#: Pending-span size below which :meth:`DailyTraffic._finalize_pending`
+#: groups in plain Python instead of lexsorting -- the array machinery
+#: has a fixed per-call cost that only amortizes at batch-pipeline
+#: span sizes, not at streaming micro-batch polls.
+_SMALL_SPAN = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class IngestDigest:
+    """Grouped summary of one :meth:`DailyTraffic.ingest` batch.
+
+    Everything the per-event consumers of a batch used to recompute by
+    looping over the connections again -- touched pairs, their new
+    timestamps, popularity-relevant domains, first-seen resolved IPs --
+    derived once from the columnar lexsort.  Pairs appear in
+    first-within-batch order, which is exactly the order per-event
+    processing would have first encountered them (the property that
+    keeps downstream interning and set-insertion orders identical).
+    """
+
+    n_events: int
+    #: packed pair keys touched by the batch, first-appearance order.
+    pairs: list[int] = field(default_factory=list)
+    #: (host, domain) names aligned with :attr:`pairs`.
+    named_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: per touched pair: the batch's timestamps, sorted ascending.
+    chunks: list[list[float]] = field(default_factory=list)
+    #: distinct domains that gained a new host this batch (the only
+    #: event that can move a domain's popularity, hence its rarity,
+    #: within a day), first-appearance order.
+    domains: list[str] = field(default_factory=list)
+    #: (domain, ip) resolutions seen for the first time today, in order.
+    novel_ips: list[tuple[str, str]] = field(default_factory=list)
+
+
+class TimestampSeriesView(Mapping):
+    """Dict-compatible view of the per-(host, domain) timestamp series.
+
+    Presents the columnar series store under the legacy
+    ``dict[(host, domain), list[float]]`` contract: same keys, sorted
+    Python-float lists as values, iteration in pair first-appearance
+    order, and dict-style equality (against another view or a plain
+    dict).  Reads finalize the traffic first, so values are always the
+    sorted views of everything ingested so far.
+    """
+
+    __slots__ = ("_traffic",)
+
+    def __init__(self, traffic: "DailyTraffic") -> None:
+        self._traffic = traffic
+
+    def _lookup(self, key) -> list[float] | None:
+        traffic = self._traffic
+        try:
+            host, domain = key
+        except (TypeError, ValueError):
+            return None
+        h_id = traffic._host_ids.get(host)
+        d_id = traffic._domain_ids.get(domain)
+        if h_id is None or d_id is None:
+            return None
+        return traffic._series.get((h_id << _PAIR_SHIFT) | d_id)
+
+    def __getitem__(self, key) -> list[float]:
+        self._traffic.finalize()
+        series = self._lookup(key)
+        if series is None:
+            raise KeyError(key)
+        return series
+
+    def get(self, key, default=None):
+        """``dict.get`` semantics over the series store."""
+        self._traffic.finalize()
+        series = self._lookup(key)
+        return default if series is None else series
+
+    def __contains__(self, key) -> bool:
+        self._traffic.finalize()
+        return self._lookup(key) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        traffic = self._traffic
+        traffic.finalize()
+        hosts = traffic._host_names
+        domains = traffic._domain_names
+        for pair in traffic._series:
+            yield (hosts[pair >> _PAIR_SHIFT], domains[pair & _DOMAIN_MASK])
+
+    def __len__(self) -> int:
+        self._traffic.finalize()
+        return len(self._traffic._series)
+
+    def items(self):
+        """``dict.items`` view, materialized in insertion order."""
+        traffic = self._traffic
+        traffic.finalize()
+        hosts = traffic._host_names
+        domains = traffic._domain_names
+        return [
+            ((hosts[pair >> _PAIR_SHIFT], domains[pair & _DOMAIN_MASK]), times)
+            for pair, times in traffic._series.items()
+        ]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (Mapping, dict)):
+            if len(self) != len(other):
+                return False
+            for key, times in self.items():
+                try:
+                    if other[key] != times:
+                        return False
+                except KeyError:
+                    return False
+            return True
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # mutable mapping semantics, like dict
+
 
 class DailyTraffic:
-    """One day of aggregated connection state.
+    """One day of aggregated connection state (columnar event store).
 
     Attributes populated by :meth:`ingest`:
 
     ``hosts_by_domain``
         domain -> set of hosts contacting it (``dom_host`` in Alg. 1).
     ``timestamps``
-        (host, domain) -> sorted list of connection times.
+        (host, domain) -> sorted list of connection times (a
+        :class:`TimestampSeriesView` over the columnar series store).
     ``no_referer_hosts`` / ``rare_ua_hosts``
         domain -> hosts that contacted it with no referer / with a rare
         or missing UA (inputs to the NoRef and RareUA features).
@@ -42,53 +186,374 @@ class DailyTraffic:
         self.day = day
         self.hosts_by_domain: dict[str, set[str]] = defaultdict(set)
         self.domains_by_host: dict[str, set[str]] = defaultdict(set)
-        self.timestamps: dict[tuple[str, str], list[float]] = defaultdict(list)
         self.no_referer_hosts: dict[str, set[str]] = defaultdict(set)
         self.rare_ua_hosts: dict[str, set[str]] = defaultdict(set)
         self.resolved_ips: dict[str, set[str]] = defaultdict(set)
-        self._unsorted: set[tuple[str, str]] = set()
+        # --- columnar core ------------------------------------------------
+        self._host_ids: dict[str, int] = {}
+        self._host_names: list[str] = []
+        self._domain_ids: dict[str, int] = {}
+        self._domain_names: list[str] = []
+        #: packed event columns, amortized-doubling growth.
+        self._ev_pair = np.empty(0, dtype=np.int64)
+        self._ev_time = np.empty(0, dtype=np.float64)
+        self._n_events = 0
+        self._n_finalized = 0
+        #: packed pair -> sorted timestamp series (Python floats).
+        self._series: dict[int, list[float]] = {}
+        #: packed pair -> its (host, domain) name tuple, assigned when
+        #: the pair is first seen; doubles as the seen-pair set and
+        #: saves re-materializing the tuple on every later touch.
+        self._pair_names: dict[int, tuple[str, str]] = {}
+        #: UA string -> rarity verdict memo.  UA popularity is frozen
+        #: for the duration of a day (histories commit at rollover, and
+        #: a DailyTraffic lives exactly one day), so each distinct UA
+        #: needs one predicate call, not one per event.
+        self._ua_rare_memo: dict[str, bool] = {}
+        self.timestamps = TimestampSeriesView(self)
         self._index: TrafficIndex | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
 
     def ingest(
         self,
-        connections: Iterable[Connection],
+        connections: Iterable[Connection | ConnectionBatch]
+        | Connection
+        | ConnectionBatch,
         *,
         ua_is_rare=None,
-    ) -> None:
-        """Aggregate connections into the day's indexes.
+        ua_stage=None,
+    ) -> IngestDigest:
+        """Aggregate a batch (or a single connection) into the day.
 
-        ``ua_is_rare`` is an optional predicate (typically
-        ``UserAgentHistory.is_rare``) evaluated against each
-        connection's UA; without it the UA features stay empty, which
-        is the DNS-dataset situation.
+        Accepts a single :class:`Connection`, one columnar
+        :class:`~repro.logs.records.ConnectionBatch`, or any iterable
+        mixing the two.  Everything stages in arrival order (a batch's
+        rows count as arriving at its position) and folds through ONE
+        grouping pass, so a drained poll of many bus items costs one
+        lexsort, not one per item.  ``ua_is_rare`` is an optional
+        predicate (typically ``UserAgentHistory.is_rare``) evaluated
+        against each scalar connection's UA; without it the UA features
+        stay empty, which is the DNS-dataset situation (columnar
+        batches carry no UA/referer context by construction).
+        ``ua_stage`` is an optional ``(user_agent, host)`` callback
+        (typically :meth:`UserAgentHistory.stage
+        <repro.profiling.ua.UserAgentHistory.stage>`) invoked for each
+        scalar connection while its fields are already in hand, so
+        callers that must stage UA observations avoid a second
+        per-event loop.  Returns
+        an :class:`IngestDigest` describing the whole call so
+        downstream consumers (window, engine, index) never re-iterate
+        the events.
         """
-        if self._index is not None:
-            connections = list(connections)
+        if isinstance(connections, (Connection, ConnectionBatch)):
+            connections = (connections,)
+        host_ids = self._host_ids
+        host_names = self._host_names
+        domain_ids = self._domain_ids
+        domain_names = self._domain_names
+        resolved_ips = self.resolved_ips
+        no_referer = self.no_referer_hosts
+        rare_ua = self.rare_ua_hosts
+        pair_stage: list[int] = []
+        time_stage: list[float] = []
+        stage_pair = pair_stage.append
+        stage_time = time_stage.append
+        novel_ips: list[tuple[str, str]] = []
+        ua_memo = self._ua_rare_memo
         for conn in connections:
-            self.hosts_by_domain[conn.domain].add(conn.host)
-            self.domains_by_host[conn.host].add(conn.domain)
-            self.timestamps[(conn.host, conn.domain)].append(conn.timestamp)
-            self._unsorted.add((conn.host, conn.domain))
-            if conn.resolved_ip:
-                self.resolved_ips[conn.domain].add(conn.resolved_ip)
-            if conn.referer is not None and not conn.referer:
-                self.no_referer_hosts[conn.domain].add(conn.host)
-            if ua_is_rare is not None and conn.user_agent is not None:
-                if ua_is_rare(conn.user_agent):
-                    self.rare_ua_hosts[conn.domain].add(conn.host)
+            if conn.__class__ is ConnectionBatch:
+                # Columnar staging: intern row-wise, bulk-extend the
+                # timestamp column (row order keeps the two stages
+                # aligned).
+                for host, domain, ip in zip(
+                    conn.hosts, conn.domains, conn.resolved_ips
+                ):
+                    h_id = host_ids.get(host)
+                    if h_id is None:
+                        h_id = len(host_names)
+                        host_ids[host] = h_id
+                        host_names.append(host)
+                    d_id = domain_ids.get(domain)
+                    if d_id is None:
+                        d_id = len(domain_names)
+                        domain_ids[domain] = d_id
+                        domain_names.append(domain)
+                    stage_pair((h_id << _PAIR_SHIFT) | d_id)
+                    if ip:
+                        ips = resolved_ips[domain]
+                        if ip not in ips:
+                            ips.add(ip)
+                            novel_ips.append((domain, ip))
+                time_stage += conn.timestamps
+                continue
+            host = conn.host
+            domain = conn.domain
+            h_id = host_ids.get(host)
+            if h_id is None:
+                h_id = len(host_names)
+                host_ids[host] = h_id
+                host_names.append(host)
+            d_id = domain_ids.get(domain)
+            if d_id is None:
+                d_id = len(domain_names)
+                domain_ids[domain] = d_id
+                domain_names.append(domain)
+            stage_pair((h_id << _PAIR_SHIFT) | d_id)
+            stage_time(conn.timestamp)
+            ip = conn.resolved_ip
+            if ip:
+                ips = resolved_ips[domain]
+                if ip not in ips:
+                    ips.add(ip)
+                    novel_ips.append((domain, ip))
+            referer = conn.referer
+            if referer is not None and not referer:
+                no_referer[domain].add(host)
+            ua = conn.user_agent
+            if ua_is_rare is not None and ua is not None:
+                rare = ua_memo.get(ua)
+                if rare is None:
+                    rare = ua_is_rare(ua)
+                    ua_memo[ua] = rare
+                if rare:
+                    rare_ua[domain].add(host)
+            if ua_stage is not None:
+                ua_stage(ua, host)
+        self._append_events(pair_stage, time_stage)
+        digest = self._finalize_pending(novel_ips)
         if self._index is not None:
-            self._index.observe(connections)
+            self._index.observe_digest(digest)
+        return digest
+
+    def _append_events(
+        self, pairs: Sequence[int], times: Sequence[float]
+    ) -> None:
+        """Slice-assign a staged batch into the amortized columns."""
+        count = len(pairs)
+        if not count:
+            return
+        need = self._n_events + count
+        if need > self._ev_pair.shape[0]:
+            capacity = max(self._ev_pair.shape[0] * 2, need, 1024)
+            for name in ("_ev_pair", "_ev_time"):
+                old = getattr(self, name)
+                grown = np.empty(capacity, dtype=old.dtype)
+                grown[: self._n_events] = old[: self._n_events]
+                setattr(self, name, grown)
+        self._ev_pair[self._n_events:need] = pairs
+        self._ev_time[self._n_events:need] = times
+        self._n_events = need
+
+    def _finalize_pending(
+        self, novel_ips: list[tuple[str, str]] | None = None
+    ) -> IngestDigest:
+        """Merge the unfinalized event span into the sorted series.
+
+        One lexsort of the span by (pair, time) yields every pair's new
+        timestamps as a contiguous sorted run; runs merge into the
+        per-pair series and simultaneously become the
+        :class:`IngestDigest` chunks.  Pairs are processed in
+        first-appearance order so new-pair set insertions land in the
+        same order per-event processing would produce.
+
+        Streaming-sized spans (micro-batch polls) skip the lexsort: a
+        plain dict-of-lists grouping gives the same first-appearance
+        order (dict insertion order) and the same sorted chunks
+        (per-group timsort), without the fixed per-call cost of the
+        array machinery.  Both paths produce identical digests; the
+        array path wins only at batch-pipeline span sizes.
+        """
+        lo, hi = self._n_finalized, self._n_events
+        if lo == hi:
+            return IngestDigest(
+                n_events=0, novel_ips=novel_ips if novel_ips else []
+            )
+        if hi - lo <= _SMALL_SPAN:
+            return self._finalize_small(lo, hi, novel_ips)
+        span_pair = self._ev_pair[lo:hi]
+        span_time = self._ev_time[lo:hi]
+        order = np.lexsort((span_time, span_pair))
+        grouped_pair = span_pair[order]
+        grouped_time = span_time[order]
+        boundaries = np.flatnonzero(grouped_pair[1:] != grouped_pair[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [grouped_pair.shape[0]]))
+        # The earliest original position inside each group is the
+        # pair's first appearance in the span.
+        first_seen_at = np.minimum.reduceat(order, starts)
+        appearance = np.argsort(first_seen_at, kind="stable")
+        # Convert once; per-group list slicing beats per-group ndarray
+        # slicing + tolist by a wide margin at streaming batch sizes.
+        time_list = grouped_time.tolist()
+        group_pairs = grouped_pair[starts].tolist()
+        starts_list = starts.tolist()
+        ends_list = ends.tolist()
+        series = self._series
+        pair_names = self._pair_names
+        hosts_by_domain = self.hosts_by_domain
+        domains_by_host = self.domains_by_host
+        host_names = self._host_names
+        domain_names = self._domain_names
+        pairs_out: list[int] = []
+        named_out: list[tuple[str, str]] = []
+        chunks_out: list[list[float]] = []
+        domains_out: list[str] = []
+        domains_seen: set[str] = set()
+        for group in appearance.tolist():
+            pair = group_pairs[group]
+            values = time_list[starts_list[group]:ends_list[group]]
+            existing = series.get(pair)
+            if existing is None:
+                # First time this day sees the pair: register the edge
+                # and its name tuple; only here can a domain's host
+                # count -- hence its rarity -- change.
+                series[pair] = values
+                host = host_names[pair >> _PAIR_SHIFT]
+                domain = domain_names[pair & _DOMAIN_MASK]
+                named = (host, domain)
+                pair_names[pair] = named
+                hosts_by_domain[domain].add(host)
+                domains_by_host[host].add(domain)
+                if domain not in domains_seen:
+                    domains_seen.add(domain)
+                    domains_out.append(domain)
+            else:
+                if existing[-1] <= values[0]:
+                    existing += values
+                else:
+                    existing += values
+                    existing.sort()
+                named = pair_names[pair]
+            pairs_out.append(pair)
+            named_out.append(named)
+            chunks_out.append(values)
+        self._n_finalized = hi
+        return IngestDigest(
+            n_events=hi - lo,
+            pairs=pairs_out,
+            named_pairs=named_out,
+            chunks=chunks_out,
+            domains=domains_out,
+            novel_ips=novel_ips if novel_ips else [],
+        )
+
+    def _finalize_small(
+        self, lo: int, hi: int, novel_ips: list[tuple[str, str]] | None
+    ) -> IngestDigest:
+        """Dict-of-lists twin of the array grouping for small spans."""
+        groups: dict[int, list[float]] = {}
+        for pair, value in zip(
+            self._ev_pair[lo:hi].tolist(), self._ev_time[lo:hi].tolist()
+        ):
+            chunk = groups.get(pair)
+            if chunk is None:
+                groups[pair] = [value]
+            else:
+                chunk.append(value)
+        series = self._series
+        pair_names = self._pair_names
+        hosts_by_domain = self.hosts_by_domain
+        domains_by_host = self.domains_by_host
+        host_names = self._host_names
+        domain_names = self._domain_names
+        pairs_out: list[int] = []
+        named_out: list[tuple[str, str]] = []
+        chunks_out: list[list[float]] = []
+        domains_out: list[str] = []
+        domains_seen: set[str] = set()
+        for pair, values in groups.items():
+            values.sort()
+            existing = series.get(pair)
+            if existing is None:
+                series[pair] = values
+                host = host_names[pair >> _PAIR_SHIFT]
+                domain = domain_names[pair & _DOMAIN_MASK]
+                named = (host, domain)
+                pair_names[pair] = named
+                hosts_by_domain[domain].add(host)
+                domains_by_host[host].add(domain)
+                if domain not in domains_seen:
+                    domains_seen.add(domain)
+                    domains_out.append(domain)
+            else:
+                if existing[-1] <= values[0]:
+                    existing += values
+                else:
+                    existing += values
+                    existing.sort()
+                named = pair_names[pair]
+            pairs_out.append(pair)
+            named_out.append(named)
+            chunks_out.append(values)
+        self._n_finalized = hi
+        return IngestDigest(
+            n_events=hi - lo,
+            pairs=pairs_out,
+            named_pairs=named_out,
+            chunks=chunks_out,
+            domains=domains_out,
+            novel_ips=novel_ips if novel_ips else [],
+        )
 
     def finalize(self) -> None:
-        """Sort timestamp series touched since the last call.
+        """Merge any events not yet folded into the sorted series.
 
-        Only series with new appends are re-sorted, so interleaving
-        ingestion and queries -- the streaming engine's access pattern
-        -- costs O(touched) rather than O(all series) per round.
+        :meth:`ingest` finalizes its own span, so this is a cheap no-op
+        on the streaming access pattern; it exists so out-of-band
+        appenders (bulk restore, merge) can defer the grouping pass.
         """
-        for pair in self._unsorted:
-            self.timestamps[pair].sort()
-        self._unsorted.clear()
+        if self._n_finalized != self._n_events:
+            self._finalize_pending()
+
+    def load_series(
+        self, host: str, domain: str, times: Iterable[float]
+    ) -> None:
+        """Bulk-restore one (host, domain) series (checkpoint decode).
+
+        Replaces any existing series for the pair and registers the
+        host/domain edge; ``times`` must already be sorted (checkpoint
+        documents store them sorted).
+        """
+        h_id = self._host_ids.get(host)
+        if h_id is None:
+            h_id = len(self._host_names)
+            self._host_ids[host] = h_id
+            self._host_names.append(host)
+        d_id = self._domain_ids.get(domain)
+        if d_id is None:
+            d_id = len(self._domain_names)
+            self._domain_ids[domain] = d_id
+            self._domain_names.append(domain)
+        pair = (h_id << _PAIR_SHIFT) | d_id
+        self._series[pair] = [float(t) for t in times]
+        self._pair_names[pair] = (host, domain)
+        self.hosts_by_domain[domain].add(host)
+        self.domains_by_host[host].add(domain)
+
+    def _extend_series(
+        self, host: str, domain: str, times: list[float]
+    ) -> None:
+        """Merge a sorted series fragment into the pair's series
+        (shard-merge path; tolerates pair collisions across shards)."""
+        h_id = self._host_ids.get(host)
+        d_id = self._domain_ids.get(domain)
+        existing = (
+            self._series.get((h_id << _PAIR_SHIFT) | d_id)
+            if h_id is not None and d_id is not None
+            else None
+        )
+        if existing is None:
+            self.load_series(host, domain, times)
+            return
+        existing += [float(t) for t in times]
+        existing.sort()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
 
     def domain_popularity(self, domain: str) -> int:
         return len(self.hosts_by_domain.get(domain, ()))
@@ -102,6 +567,43 @@ class DailyTraffic:
         """Earliest timestamp any host reached ``domain`` today."""
         times = self.connection_times(host, domain)
         return times[0] if times else None
+
+    def rare_series(
+        self, rare: Set[str]
+    ) -> list[tuple[tuple[str, str], list[float]]]:
+        """The automation candidate series, sorted by (host, domain).
+
+        Equivalent to filtering ``sorted(traffic.timestamps.items())``
+        by rare domain -- the shape
+        :meth:`~repro.timing.detector.AutomationDetector.automated_pairs`
+        consumes -- but filters on interned domain ids *before* any
+        string-tuple sorting, so the sort touches only the rare pairs
+        instead of every series of the day.
+        """
+        self.finalize()
+        domain_ids = self._domain_ids
+        rare_ids = {
+            domain_ids[domain]
+            for domain in rare
+            if domain in domain_ids
+        }
+        if not rare_ids:
+            return []
+        host_names = self._host_names
+        domain_names = self._domain_names
+        out = [
+            (
+                (
+                    host_names[pair >> _PAIR_SHIFT],
+                    domain_names[pair & _DOMAIN_MASK],
+                ),
+                times,
+            )
+            for pair, times in self._series.items()
+            if pair & _DOMAIN_MASK in rare_ids
+        ]
+        out.sort(key=lambda item: item[0])
+        return out
 
     def index(self) -> TrafficIndex:
         """The day's :class:`~repro.profiling.index.TrafficIndex`.
@@ -156,7 +658,7 @@ def merge_daily_traffic(
     Sound when the shards partition connections by *host* hash (the
     event bus's :func:`~repro.streaming.events.shard_of`): every
     (host, domain) timestamp series then lives wholly inside one shard,
-    so the pair-keyed dicts are disjoint and concatenate trivially,
+    so the pair-keyed series are disjoint and concatenate trivially,
     while the domain-keyed host/IP sets union commutatively.  The
     result is indistinguishable from ingesting all connections into a
     single aggregate, which is what makes a sharded day's rollover
@@ -171,19 +673,25 @@ def merge_daily_traffic(
         day = shards[0].day if shards else 0
     merged = DailyTraffic(day)
     for shard in shards:
+        shard.finalize()
         for domain, hosts in shard.hosts_by_domain.items():
             merged.hosts_by_domain[domain] |= hosts
         for host, domains in shard.domains_by_host.items():
             merged.domains_by_host[host] |= domains
-        for pair, times in shard.timestamps.items():
-            merged.timestamps[pair].extend(times)
+        host_names = shard._host_names
+        domain_names = shard._domain_names
+        for pair, times in shard._series.items():
+            merged._extend_series(
+                host_names[pair >> _PAIR_SHIFT],
+                domain_names[pair & _DOMAIN_MASK],
+                times,
+            )
         for domain, ips in shard.resolved_ips.items():
             merged.resolved_ips[domain] |= ips
         for domain, hosts in shard.no_referer_hosts.items():
             merged.no_referer_hosts[domain] |= hosts
         for domain, hosts in shard.rare_ua_hosts.items():
             merged.rare_ua_hosts[domain] |= hosts
-        merged._unsorted |= shard._unsorted
     return merged
 
 

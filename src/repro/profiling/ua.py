@@ -44,7 +44,10 @@ class UserAgentHistory:
         """Record a same-day (UA, host) observation without committing."""
         if not user_agent:
             return
-        self._pending.setdefault(user_agent, set()).add(host)
+        hosts = self._pending.get(user_agent)
+        if hosts is None:
+            self._pending[user_agent] = hosts = set()
+        hosts.add(host)
 
     def commit_day(self) -> None:
         """Fold staged observations into the profile (end of day)."""

@@ -36,6 +36,14 @@ from .profiling.history import DestinationHistory
 from .profiling.rare import DailyTraffic, extract_rare_domains, rare_domains_by_host
 from .timing.detector import AutomationDetector
 
+#: Parity-only path: ``detect_on_traffic(..., use_index=False)`` keeps
+#: the legacy per-domain scoring loop purely as the reference the
+#: indexed/batched path is pinned against (``pytest -m parity``).
+#: Production always runs ``use_index=True``; the legacy branch is
+#: kept green only for those tests and is slated for retirement
+#: (ROADMAP).
+_parity = "detect_on_traffic(use_index=False)"
+
 
 @dataclass
 class RunnerDayReport:
@@ -121,12 +129,7 @@ def detect_on_traffic(
     obs = metrics if metrics is not None else NULL_METRICS
     stage_seconds: dict[str, float] = {}
     with obs.span("detect_automation") as automation_span:
-        series = [
-            (key, times)
-            for key, times in sorted(traffic.timestamps.items())
-            if key[1] in rare
-        ]
-        verdicts = automation.automated_pairs(series)
+        verdicts = automation.automated_pairs(traffic.rare_series(rare))
         verdicts_by_domain = group_verdicts_by_domain(verdicts)
         cc = {
             domain for domain, domain_verdicts in verdicts_by_domain.items()

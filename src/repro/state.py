@@ -277,9 +277,7 @@ def decode_window(window, payload: dict[str, Any]) -> None:
     traffic = window.traffic
     traffic.day = window.day
     for host, domain, times in payload["series"]:
-        traffic.timestamps[(host, domain)] = [float(t) for t in times]
-        traffic.hosts_by_domain[domain].add(host)
-        traffic.domains_by_host[host].add(domain)
+        traffic.load_series(host, domain, times)
     for domain, ips in payload["resolved_ips"].items():
         traffic.resolved_ips[domain] = set(ips)
     for domain, hosts in payload["no_referer_hosts"].items():

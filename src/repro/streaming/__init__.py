@@ -27,7 +27,13 @@ from .detector import (
 )
 from .engine import StreamingEngineBase
 from .enterprise import StreamingEnterpriseDetector, replay_enterprise_directory
-from .events import EventBus, dns_connection_stream, micro_batches, shard_of
+from .events import (
+    EventBus,
+    dns_batch_stream,
+    dns_connection_stream,
+    micro_batches,
+    shard_of,
+)
 from .incremental import (
     IncrementalGraph,
     WarmStartConfig,
@@ -46,6 +52,7 @@ __all__ = [
     "StreamingEnterpriseDetector",
     "WarmStartConfig",
     "WindowedAggregator",
+    "dns_batch_stream",
     "dns_connection_stream",
     "micro_batches",
     "replay_directory",

@@ -28,7 +28,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..logs.records import Connection
+from ..logs.records import Connection, ConnectionBatch
 from ..obs.logs import get_logger, log_event
 from ..obs.metrics import NULL_METRICS
 from ..profiling.history import DestinationHistory
@@ -98,33 +98,79 @@ class StreamingEngineBase:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def submit(self, connections: Iterable[Connection]) -> int:
-        """Publish already-normalized connections onto the event bus."""
+    def submit(
+        self, connections: Iterable[Connection] | ConnectionBatch
+    ) -> int:
+        """Publish already-normalized connections onto the event bus.
+
+        Accepts a scalar event iterable or one columnar
+        :class:`~repro.logs.records.ConnectionBatch`; batches travel
+        through the bus whole and ingest through the columnar path.
+        """
         return self.bus.publish(connections)
 
     def poll(self, max_events: int | None = None) -> int:
         """Drain the bus into the window; returns events consumed."""
-        batch = self.bus.drain(max_events=max_events)
-        if batch:
-            self._polls_counter.inc()
-            self._events_counter.inc(len(batch))
-            with self.metrics.span("stream_ingest"):
-                self._ingest(batch)
-        return len(batch)
+        items = self.bus.drain(max_events=max_events)
+        if not items:
+            return 0
+        self._polls_counter.inc()
+        with self.metrics.span("stream_ingest"):
+            events = self._ingest(items)
+        self._events_counter.inc(events)
+        return events
 
     def ingest(self, connections: Iterable[Connection]) -> int:
-        """Synchronous convenience: publish one micro-batch and drain it."""
-        published = self.submit(connections)
-        self.poll()
-        return published
+        """Synchronous convenience: publish one micro-batch and drain it.
 
-    def _ingest(self, batch: Sequence[Connection]) -> None:
-        self.window.ingest(batch)
-        self.events_total += len(batch)
-        for conn in batch:
-            self._pending_times.setdefault(
-                (conn.host, conn.domain), []
-            ).append(conn.timestamp)
+        When the bus is empty the publish/drain round-trip is pure
+        ceremony -- there is nothing to interleave with, and draining
+        right back is order-equivalent to ingesting directly (within a
+        day every aggregate is order-insensitive) -- so the batch goes
+        straight to the window.  The bus counters advance either way,
+        keeping observability identical.
+        """
+        if len(self.bus) != 0:
+            published = self.submit(connections)
+            self.poll()
+            return published
+        if isinstance(connections, (Connection, ConnectionBatch)):
+            items: Sequence[Connection | ConnectionBatch] = (connections,)
+        elif isinstance(connections, (list, tuple)):
+            items = connections
+        else:
+            items = list(connections)
+        if not items:
+            return 0
+        self._polls_counter.inc()
+        with self.metrics.span("stream_ingest"):
+            events = self._ingest(items)
+        self._events_counter.inc(events)
+        self.bus.published += events
+        self.bus.drained += events
+        return events
+
+    def _ingest(
+        self, batch: Sequence[Connection | ConnectionBatch]
+    ) -> int:
+        # A drained item list mixes scalar events and whole columnar
+        # batches; the window (via the columnar traffic store) stages
+        # them all in arrival order and folds the poll through ONE
+        # grouping pass.
+        digest = self.window.ingest(batch)
+        total = digest.n_events
+        # The digest's per-pair chunks are exactly the poll's
+        # timestamps (sorted within the poll -- the verdict cache
+        # sorts pending times anyway), so pending bookkeeping is per
+        # *pair*, not per event.
+        pending = self._pending_times
+        for key, chunk in zip(digest.named_pairs, digest.chunks):
+            times = pending.get(key)
+            if times is None:
+                pending[key] = list(chunk)
+            else:
+                times += chunk
+        self.events_total += total
         dirty_pairs, flips = self.window.drain_changes()
         rare = self.window.rare
         for domain in flips:
@@ -141,6 +187,7 @@ class StreamingEngineBase:
             if domain in rare:
                 self.graph.add_edge(host, domain)
         self._stale_pairs.update(dirty_pairs)
+        return total
 
     # ------------------------------------------------------------------
     # Verdict refresh (intra-day scoring support)
@@ -156,25 +203,33 @@ class StreamingEngineBase:
         """
         self.window.traffic.finalize()
         rare = self.window.rare
+        pending = self._pending_times
+        verdicts = self._verdicts
+        cache = self._series_cache
+        timestamps = self.window.traffic.timestamps
+        not_rare = 0
         for pair in self._stale_pairs:
-            host, domain = pair
-            new_times = self._pending_times.pop(pair, ())
+            domain = pair[1]
             if domain not in rare:
-                self._verdicts.pop(pair, None)
-                self._series_cache.count_not_rare_skip()
+                # Not a candidate; the rarity-flip handling already
+                # cleared any verdict it could have had.
+                verdicts.pop(pair, None)
+                not_rare += 1
                 continue
-            verdict = self._series_cache.test(
-                host, domain,
-                self.window.traffic.timestamps.get(pair, []),
-                new_times,
+            verdict = cache.test(
+                pair[0], domain,
+                timestamps.get(pair, []),
+                pending.pop(pair, ()),
             )
             if verdict.automated:
-                self._verdicts[pair] = verdict
+                verdicts[pair] = verdict
             else:
-                self._verdicts.pop(pair, None)
+                verdicts.pop(pair, None)
+        if not_rare:
+            cache.stats.not_rare_skips += not_rare
         self._stale_pairs.clear()
         self._pending_times.clear()
-        return [self._verdicts[pair] for pair in sorted(self._verdicts)]
+        return [verdicts[pair] for pair in sorted(verdicts)]
 
     # ------------------------------------------------------------------
     # Day boundary / restore plumbing

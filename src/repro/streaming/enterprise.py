@@ -182,12 +182,14 @@ class StreamingEnterpriseDetector(StreamingEngineBase):
         when = (self.window.day + 1) * SECONDS_PER_DAY
         auto_hosts = _automated_hosts_by_domain(verdicts)
         with _frozen_imputation(self.batch):
+            candidates = sorted(auto_hosts)
+            scores = self.cc_scorer.score_all(
+                candidates, traffic, auto_hosts, when
+            )
             cc = {
                 domain
-                for domain in sorted(auto_hosts)
-                if self.cc_scorer.score(
-                    domain, traffic, auto_hosts[domain], when
-                ) >= self.cc_scorer.threshold
+                for domain, score in zip(candidates, scores)
+                if score >= self.cc_scorer.threshold
             }
             seed_hosts: set[str] = set()
             for domain in cc:

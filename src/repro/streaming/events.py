@@ -17,6 +17,11 @@ module provides the glue between the two worlds:
   :func:`~repro.logs.normalize.normalize_dns_records`, so the
   streaming path reuses the exact reduction and normalization code of
   the batch pipeline (and the same Figure 2 accounting).
+* :func:`dns_batch_stream` -- the columnar twin of
+  :func:`dns_connection_stream`: one fused loop that reduces,
+  normalizes, and groups raw DNS records straight into
+  :class:`~repro.logs.records.ConnectionBatch` columns, skipping
+  per-event object creation entirely.
 * :func:`micro_batches` -- group any event iterator into bounded
   batches, the unit of ingestion and scoring.
 """
@@ -25,10 +30,12 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Iterable, Iterator
+from itertools import islice
 from zlib import crc32
 
+from ..logs.domains import fold_domain
 from ..logs.normalize import normalize_dns_records
-from ..logs.records import Connection, DnsRecord
+from ..logs.records import Connection, ConnectionBatch, DnsRecord
 from ..logs.reduction import ReductionFunnel
 
 
@@ -53,43 +60,140 @@ class EventBus:
         if n_shards < 1:
             raise ValueError("n_shards must be positive")
         self.n_shards = n_shards
-        self._shards: list[deque[Connection]] = [deque() for _ in range(n_shards)]
+        self._shards: list[deque[Connection | ConnectionBatch]] = [
+            deque() for _ in range(n_shards)
+        ]
+        self._shard_memo: dict[str, int] = {}
         self.published = 0
         self.drained = 0
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards)
+        """Pending event count (batch items count their rows)."""
+        return sum(self.shard_sizes())
 
     def shard_sizes(self) -> list[int]:
-        return [len(shard) for shard in self._shards]
+        """Pending event counts per shard (batch items count their rows)."""
+        return [
+            sum(
+                len(item) if isinstance(item, ConnectionBatch) else 1
+                for item in shard
+            )
+            for shard in self._shards
+        ]
 
-    def publish(self, events: Iterable[Connection]) -> int:
-        """Route events to their host shards; returns the count."""
+    def publish(self, events: Iterable[Connection] | ConnectionBatch) -> int:
+        """Route events to their host shards; returns the count.
+
+        A :class:`~repro.logs.records.ConnectionBatch` is routed
+        columnar: its rows are split into per-shard sub-batches that
+        travel through the queue as single items, so a drain hands the
+        window whole columns instead of one object per event.
+        """
+        if isinstance(events, ConnectionBatch):
+            return self._publish_batch(events)
         count = 0
+        memo = self._shard_memo
+        shards = self._shards
+        n_shards = self.n_shards
         for event in events:
-            self._shards[shard_of(event.host, self.n_shards)].append(event)
+            host = event.host
+            shard = memo.get(host)
+            if shard is None:
+                shard = shard_of(host, n_shards)
+                memo[host] = shard
+            shards[shard].append(event)
             count += 1
+        self.published += count
+        return count
+
+    def _publish_batch(self, batch: ConnectionBatch) -> int:
+        """Split a columnar batch into per-shard sub-batches."""
+        count = len(batch)
+        if not count:
+            return 0
+        n_shards = self.n_shards
+        if n_shards == 1:
+            self._shards[0].append(batch)
+            self.published += count
+            return count
+        memo = self._shard_memo
+        rows: list[list[int] | None] = [None] * n_shards
+        for position, host in enumerate(batch.hosts):
+            shard = memo.get(host)
+            if shard is None:
+                shard = shard_of(host, n_shards)
+                memo[host] = shard
+            row = rows[shard]
+            if row is None:
+                rows[shard] = [position]
+            else:
+                row.append(position)
+        times = batch.timestamps
+        hosts = batch.hosts
+        domains = batch.domains
+        ips = batch.resolved_ips
+        for shard, row in enumerate(rows):
+            if row is None:
+                continue
+            if len(row) == count:
+                # Every row landed on one shard -- ship the original.
+                self._shards[shard].append(batch)
+                break
+            self._shards[shard].append(
+                ConnectionBatch(
+                    [times[i] for i in row],
+                    [hosts[i] for i in row],
+                    [domains[i] for i in row],
+                    [ips[i] for i in row],
+                )
+            )
         self.published += count
         return count
 
     def drain(
         self, shard: int | None = None, max_events: int | None = None
-    ) -> list[Connection]:
+    ) -> list[Connection | ConnectionBatch]:
         """Pop up to ``max_events`` events (all shards unless one is given).
 
-        With ``shard=None`` the shards are drained round-robin so no
-        single busy host can starve the others.
+        With ``shard=None`` and a ``max_events`` bound the shards are
+        drained round-robin so no single busy host can starve the
+        others; an unbounded drain empties shard by shard instead --
+        within a day every downstream aggregate is order-insensitive
+        (see the class docstring), and the bulk path skips the
+        per-event rotation.  The returned list mixes scalar events and
+        whole columnar batches; ``max_events`` bounds the total *event*
+        count, and a batch is never split, so the bound can overshoot
+        by at most one batch.
         """
         shards = self._shards if shard is None else [self._shards[shard]]
-        out: list[Connection] = []
+        out: list[Connection | ConnectionBatch] = []
+        count = 0
+        if max_events is None:
+            for queue in shards:
+                if not queue:
+                    continue
+                for item in queue:
+                    count += (
+                        len(item) if item.__class__ is ConnectionBatch else 1
+                    )
+                out.extend(queue)
+                queue.clear()
+            self.drained += count
+            return out
         while any(shards):
             for queue in shards:
                 if queue:
-                    out.append(queue.popleft())
-                    if max_events is not None and len(out) >= max_events:
-                        self.drained += len(out)
+                    item = queue.popleft()
+                    out.append(item)
+                    count += (
+                        len(item)
+                        if isinstance(item, ConnectionBatch)
+                        else 1
+                    )
+                    if max_events is not None and count >= max_events:
+                        self.drained += count
                         return out
-        self.drained += len(out)
+        self.drained += count
         return out
 
 
@@ -107,17 +211,66 @@ def dns_connection_stream(
     return normalize_dns_records(funnel.reduce(records), fold_level=fold_level)
 
 
+def dns_batch_stream(
+    records: Iterable[DnsRecord],
+    funnel: ReductionFunnel,
+    *,
+    fold_level: int = 3,
+    batch_size: int = 512,
+) -> Iterator[ConnectionBatch]:
+    """Reduce + normalize a raw DNS stream into columnar micro-batches.
+
+    Fuses the three per-event generators of the scalar path
+    (:meth:`~repro.logs.reduction.ReductionFunnel.reduce`,
+    :func:`~repro.logs.normalize.normalize_dns_records`,
+    :func:`micro_batches`) into one chunked loop that appends
+    surviving records straight into column lists -- no per-event
+    :class:`~repro.logs.records.Connection` objects and no generator
+    round-trips.  Reduction accounting runs through the funnel's own
+    :meth:`~repro.logs.reduction.ReductionFunnel.reduce_batch` and
+    folding is memoized exactly like the scalar normalizer, so the
+    Figure 2 funnel and the produced events are identical to
+    :func:`dns_connection_stream` + :func:`micro_batches`.
+    """
+    if batch_size < 1:
+        raise ValueError("batch size must be positive")
+    reduce_batch = funnel.reduce_batch
+    folded: dict[str, str] = {}
+    times: list[float] = []
+    hosts: list[str] = []
+    domains: list[str] = []
+    ips: list[str] = []
+    chunk_size = max(batch_size, 2048)
+    source = iter(records)
+    try:
+        while True:
+            chunk = list(islice(source, chunk_size))
+            if not chunk:
+                break
+            for record in reduce_batch(chunk):
+                domain = folded.get(record.domain)
+                if domain is None:
+                    domain = fold_domain(record.domain, fold_level)
+                    folded[record.domain] = domain
+                times.append(record.timestamp)
+                hosts.append(record.source_ip)
+                domains.append(domain)
+                ips.append(record.resolved_ip)
+                if len(times) >= batch_size:
+                    yield ConnectionBatch(times, hosts, domains, ips)
+                    times, hosts, domains, ips = [], [], [], []
+        if times:
+            yield ConnectionBatch(times, hosts, domains, ips)
+    finally:
+        funnel.flush_metrics()
+
+
 def micro_batches(
     events: Iterable[Connection], size: int
 ) -> Iterator[list[Connection]]:
     """Group an event stream into micro-batches of at most ``size``."""
     if size < 1:
         raise ValueError("batch size must be positive")
-    batch: list[Connection] = []
-    for event in events:
-        batch.append(event)
-        if len(batch) >= size:
-            yield batch
-            batch = []
-    if batch:
+    source = iter(events)
+    while batch := list(islice(source, size)):
         yield batch

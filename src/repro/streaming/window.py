@@ -23,9 +23,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from ..logs.records import Connection
+from ..logs.records import Connection, ConnectionBatch
 from ..profiling.history import DestinationHistory
-from ..profiling.rare import DailyTraffic, RareDomainTracker
+from ..profiling.rare import DailyTraffic, IngestDigest, RareDomainTracker
 from ..profiling.ua import UserAgentHistory
 
 
@@ -65,27 +65,40 @@ class WindowedAggregator:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def ingest(self, connections: Iterable[Connection]) -> set[tuple[str, str]]:
-        """Fold a micro-batch into the window; returns touched pairs."""
-        batch = list(connections)
-        ua_is_rare = (
-            self.ua_history.is_rare if self.ua_history is not None else None
-        )
-        self.traffic.ingest(batch, ua_is_rare=ua_is_rare)
-        touched: set[tuple[str, str]] = set()
-        for conn in batch:
-            touched.add((conn.host, conn.domain))
-            if self.ua_history is not None:
-                self.ua_history.stage(conn.user_agent, conn.host)
-        for domain in {domain for _, domain in touched}:
-            changed = self.tracker.update(
-                domain, len(self.traffic.hosts_by_domain[domain])
+    def ingest(
+        self, connections: Iterable[Connection] | ConnectionBatch
+    ) -> IngestDigest:
+        """Fold a micro-batch into the window; returns its digest.
+
+        The columnar :meth:`DailyTraffic.ingest
+        <repro.profiling.rare.DailyTraffic.ingest>` already groups the
+        batch once; everything here (UA staging apart) reads the
+        resulting :class:`~repro.profiling.rare.IngestDigest` instead
+        of re-looping over the connections.
+        """
+        traffic = self.traffic
+        if self.ua_history is not None:
+            # UA staging rides inside the traffic ingest loop (the
+            # ``ua_stage`` hook fires per scalar event with the fields
+            # already in hand); columnar batch rows carry no UA by
+            # construction, so they stage nothing, matching the scalar
+            # DNS-path behaviour of staging ``None``.
+            digest = traffic.ingest(
+                connections,
+                ua_is_rare=self.ua_history.is_rare,
+                ua_stage=self.ua_history.stage,
             )
-            if changed:
-                self.rare_changes.add(domain)
-        self.dirty_pairs.update(touched)
-        self.events_today += len(batch)
-        return touched
+        else:
+            digest = traffic.ingest(connections)
+        hosts_by_domain = traffic.hosts_by_domain
+        update = self.tracker.update
+        rare_changes = self.rare_changes
+        for domain in digest.domains:
+            if update(domain, len(hosts_by_domain[domain])):
+                rare_changes.add(domain)
+        self.dirty_pairs.update(digest.named_pairs)
+        self.events_today += digest.n_events
+        return digest
 
     def drain_changes(self) -> tuple[set[tuple[str, str]], set[str]]:
         """Return and clear (dirty pairs, rarity flips) since last drain."""

@@ -13,6 +13,16 @@ from repro.synthetic import generate_enterprise_dataset, generate_lanl_dataset
 from repro.testing import SMALL_ENTERPRISE, SMALL_LANL
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "parity: legacy-scalar vs columnar/vectorized equivalence tests. "
+        "The scalar paths (see the `_parity` notes in the source) are "
+        "kept only to anchor these; run the whole group with "
+        "`pytest -m parity` before touching either side.",
+    )
+
+
 @pytest.fixture(scope="session")
 def lanl_dataset():
     return generate_lanl_dataset(SMALL_LANL)

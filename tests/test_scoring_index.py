@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 import random
 
+import pytest
+
 import numpy as np
 
 from repro.config import LANL_CONFIG, SystemConfig
@@ -152,6 +154,7 @@ def _assert_same_bp(left, right) -> None:
 # DNS / additive path
 # ---------------------------------------------------------------------------
 
+@pytest.mark.parity
 def test_detect_on_traffic_index_parity_multiday():
     """Indexed scoring equals the legacy path on random multi-day runs."""
     for seed in range(12):
@@ -187,6 +190,7 @@ def test_detect_on_traffic_index_parity_multiday():
             _commit(traffic, history)
 
 
+@pytest.mark.parity
 def test_belief_propagation_warm_start_parity():
     """Incremental scoring matches legacy under ``prior=`` warm starts."""
     for seed in range(8):
@@ -292,6 +296,7 @@ def _random_whois(rng: random.Random, connections) -> WhoisDatabase:
     return db
 
 
+@pytest.mark.parity
 def test_detect_on_enterprise_traffic_index_parity():
     """Batched regression scoring equals the legacy path, including the
     WHOIS imputation state it leaves behind."""
@@ -346,6 +351,7 @@ def test_detect_on_enterprise_traffic_index_parity():
 # Building blocks
 # ---------------------------------------------------------------------------
 
+@pytest.mark.parity
 def test_traffic_index_incremental_matches_rebuild():
     """An index maintained per micro-batch equals one built at the end."""
     for seed in range(6):
@@ -383,6 +389,7 @@ def test_traffic_index_incremental_matches_rebuild():
                 assert l_pairs[host] == bulk.first_contact(host, domain)
 
 
+@pytest.mark.parity
 def test_bp_views_match_legacy_maps():
     """Index-backed dom_host / host_rdom views equal the eager maps."""
     rng = random.Random(99)
@@ -407,6 +414,7 @@ def test_bp_views_match_legacy_maps():
         assert host_rdom[host] is host_rdom[host]
 
 
+@pytest.mark.parity
 def test_grouped_beacon_heuristic_matches_full_scan():
     """Per-domain verdict slices give the same C&C set as rescanning
     the full verdict list for every domain."""
@@ -434,6 +442,7 @@ def test_grouped_beacon_heuristic_matches_full_scan():
         assert fast == slow
 
 
+@pytest.mark.parity
 def test_score_and_score_many_bitwise_equal():
     """The serial and batched linear scorers are bit-identical -- the
     contract the batched frontier scorer's parity rests on."""
@@ -465,6 +474,7 @@ def test_batched_scorer_rejects_mismatched_model():
         raise AssertionError("expected ValueError")
 
 
+@pytest.mark.parity
 def test_incremental_scorer_matches_additive_componentwise():
     """Spot-check raw scores (not just detections) against the legacy
     additive scorer under a growing malicious set."""

@@ -59,6 +59,7 @@ def _replay_kwargs(lanl_dataset, **extra):
 # Batch parity
 # ---------------------------------------------------------------------------
 
+@pytest.mark.parity
 class TestBatchParity:
     def test_replay_matches_batch_runner(self, log_dir, lanl_dataset):
         batch = run_directory(
@@ -756,6 +757,7 @@ def _enterprise_pair(trained_enterprise):
     return batch, stream
 
 
+@pytest.mark.parity
 class TestEnterpriseBatchParity:
     def test_rollover_matches_process_day(
         self, trained_enterprise, enterprise_dataset

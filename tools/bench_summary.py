@@ -53,6 +53,11 @@ def summarize_streaming(payload) -> dict | None:
         "stream_event_latency_p50_us": top.get("stream_event_latency_p50_us"),
         "detect_parity": all(r.get("detect_parity") for r in rows),
     }
+    # Columnar ingest-stage rate (events folded into the window per
+    # second, excluding generation and scoring), when the bench
+    # recorded it (older JSONs lack the field).
+    if top.get("ingest_events_per_sec"):
+        summary["ingest_events_per_sec"] = top["ingest_events_per_sec"]
     # The observability plane's cost and the per-stage breakdown, when
     # the bench ran with the metrics pass (older JSONs lack it).
     if "metrics_overhead_pct" in top:
